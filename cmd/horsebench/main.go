@@ -1,0 +1,387 @@
+// Command horsebench regenerates every table and figure of the HORSE
+// paper's evaluation on the simulated platform.
+//
+// Usage:
+//
+//	horsebench table1               Table 1  (init/exec per category, cold/restore/warm)
+//	horsebench fig1                 Figure 1 (init %% per scenario and category)
+//	horsebench fig2 [-csv]          Figure 2 (vanilla resume breakdown vs vCPUs)
+//	horsebench fig3 [-csv]          Figure 3 (resume time, vanil/coal/ppsm/horse vs vCPUs)
+//	horsebench fig4                 Figure 4 (init %% including HORSE)
+//	horsebench overhead             §5.2     (CPU and memory overhead of HORSE)
+//	horsebench colocation [-vcpus] [-sweep]
+//	                                §5.4     (tail latency of colocated thumbnails)
+//	horsebench ablation             §4.1.3   (number of reserved ull_runqueues)
+//	horsebench all                  everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	horse "github.com/horse-faas/horse"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "horsebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (table1|fig1|fig2|fig3|fig4|overhead|colocation|ablation|verify|all)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "table1":
+		return table1(w)
+	case "fig1":
+		return fig1(w)
+	case "fig2":
+		return fig2(w, rest)
+	case "fig3":
+		return fig3(w, rest)
+	case "fig4":
+		return fig4(w)
+	case "overhead":
+		return overhead(w)
+	case "colocation":
+		return colocation(w, rest)
+	case "ablation":
+		return ablation(w)
+	case "verify":
+		return verify(w)
+	case "all":
+		steps := []func(io.Writer) error{
+			table1,
+			fig1,
+			func(w io.Writer) error { return fig2(w, nil) },
+			func(w io.Writer) error { return fig3(w, nil) },
+			fig4,
+			overhead,
+			ablation,
+		}
+		for _, f := range steps {
+			if err := f(w); err != nil {
+				return err
+			}
+		}
+		return colocation(w, nil)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+func table1(w io.Writer) error {
+	header(w, "Table 1: sandbox initialization vs uLL execution (cold / restore / warm)")
+	res, err := horse.RunTable1()
+	if err != nil {
+		return err
+	}
+	return writeBreakdown(w, res)
+}
+
+func fig1(w io.Writer) error {
+	header(w, "Figure 1: sandbox initialization share of the pipeline (%)")
+	res, err := horse.RunTable1()
+	if err != nil {
+		return err
+	}
+	return writeInitShares(w, res)
+}
+
+func fig4(w io.Writer) error {
+	header(w, "Figure 4: initialization share including HORSE (%)")
+	res, err := horse.RunFig4()
+	if err != nil {
+		return err
+	}
+	if err := writeInitShares(w, res); err != nil {
+		return err
+	}
+	speedups, err := res.SpeedupVsHorse()
+	if err != nil {
+		return err
+	}
+	categories := make([]string, 0, len(speedups))
+	for cat := range speedups {
+		categories = append(categories, cat)
+	}
+	sort.Strings(categories)
+	fmt.Fprintln(w, "\nHORSE advantage (scenario init-share / HORSE init-share):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "category\tvs warm\tvs restore\tvs cold")
+	for _, cat := range categories {
+		m := speedups[cat]
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.1fx\t%.1fx\n", cat, m["warm"], m["restore"], m["cold"])
+	}
+	return tw.Flush()
+}
+
+func writeBreakdown(w io.Writer, res horse.InitBreakdown) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "category\texec\t")
+	for _, sc := range res.Scenarios {
+		fmt.Fprintf(tw, "%s init\t%s init%%\t", sc, sc)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%v\t", row.Category, row.Exec)
+		for _, sc := range res.Scenarios {
+			cell := row.Cells[sc]
+			fmt.Fprintf(tw, "%v\t%.2f\t", cell.Init, cell.InitPct)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func writeInitShares(w io.Writer, res horse.InitBreakdown) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "category\t%s\n", strings.Join(res.Scenarios, "\t"))
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s", row.Category)
+		for _, sc := range res.Scenarios {
+			fmt.Fprintf(tw, "\t%.2f%%", row.Cells[sc].InitPct)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig2(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	asCSV := fs.Bool("csv", false, "emit comma-separated values for plotting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	points, err := horse.RunFig2(nil)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		fmt.Fprintln(w, "vcpus,total_ns,merge_ns,load_ns,two_ops_share")
+		for _, pt := range points {
+			var merge, load horse.Duration
+			for _, s := range pt.Steps {
+				switch s.Label {
+				case "merge":
+					merge = s.Cost
+				case "load":
+					load = s.Cost
+				}
+			}
+			fmt.Fprintf(w, "%d,%d,%d,%d,%.4f\n",
+				pt.VCPUs, pt.Total.Nanoseconds(), merge.Nanoseconds(),
+				load.Nanoseconds(), pt.TwoOpsShare)
+		}
+		return nil
+	}
+	header(w, "Figure 2: vanilla resume breakdown while varying vCPUs")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "vCPUs\ttotal\tmerge(④)\tload(⑤)\tother(①②③⑥)\tsteps④+⑤ share")
+	for _, pt := range points {
+		var merge, load horse.Duration
+		for _, s := range pt.Steps {
+			switch s.Label {
+			case "merge":
+				merge = s.Cost
+			case "load":
+				load = s.Cost
+			}
+		}
+		other := pt.Total - merge - load
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\t%.1f%%\n",
+			pt.VCPUs, pt.Total, merge, load, other, 100*pt.TwoOpsShare)
+	}
+	return tw.Flush()
+}
+
+func fig3(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ContinueOnError)
+	asCSV := fs.Bool("csv", false, "emit comma-separated values for plotting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	points, err := horse.RunFig3(nil)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		fmt.Fprintln(w, "vcpus,vanil_ns,coal_ns,ppsm_ns,horse_ns")
+		for _, pt := range points {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", pt.VCPUs,
+				pt.Totals[horse.PolicyVanilla].Nanoseconds(),
+				pt.Totals[horse.PolicyCoal].Nanoseconds(),
+				pt.Totals[horse.PolicyPPSM].Nanoseconds(),
+				pt.Totals[horse.PolicyHorse].Nanoseconds())
+		}
+		return nil
+	}
+	header(w, "Figure 3: resume time of the four setups while varying vCPUs")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "vCPUs\tvanil\tcoal\tppsm\thorse")
+	for _, pt := range points {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\n", pt.VCPUs,
+			pt.Totals[horse.PolicyVanilla], pt.Totals[horse.PolicyCoal],
+			pt.Totals[horse.PolicyPPSM], pt.Totals[horse.PolicyHorse])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	sum, err := horse.SummarizeFig3(points)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nAt %d vCPUs: HORSE %.2fx faster than vanilla (%.1f%% improvement); "+
+		"coal alone saves %.1f%%, ppsm alone saves %.1f%%\n",
+		sum.VCPUs, sum.HorseSpeedup, 100*sum.HorseImprovement,
+		100*sum.CoalSaving, 100*sum.PPSMSaving)
+	fmt.Fprintf(w, "Paper: up to 7.16x / 85%%; coal 16-20%%; ppsm 55-69%%; HORSE constant ≈150ns\n")
+	return nil
+}
+
+func overhead(w io.Writer) error {
+	header(w, "§5.2: CPU and memory overhead of HORSE (10 uLL + 10 busy sandboxes)")
+	results, err := horse.RunOverhead(horse.OverheadConfig{}, nil)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "vCPUs\tP²SM memory\tmem overhead\tpause extra CPU\tresume extra CPU")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%d\t%.1f KB\t%.4f%%\t%.5f%%\t%.5f%%\n",
+			r.VCPUs, float64(r.PSMMemoryBytes)/1024, r.MemoryOverheadPct,
+			r.PauseCPUPct, r.ResumeCPUPct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Paper: ≈528 KB for 10 paused sandboxes (≈0.1% of sandbox memory);")
+	fmt.Fprintln(w, "CPU: pause +≤0.3%, resume +≤2.7%; overall <1%")
+	return nil
+}
+
+func ablation(w io.Writer) error {
+	header(w, "Ablation (§4.1.3): number of reserved ull_runqueues")
+	points, err := horse.RunULLQueueSweep(horse.ULLQueueSweepConfig{}, nil)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ull queues\tmax sandboxes/queue\tbackground sync work\tresume (constant)")
+	for _, pt := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\n", pt.Queues, pt.MaxAssigned, pt.SyncWork, pt.ResumeTotal)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "More queues spread the paused sandboxes and shrink the sibling")
+	fmt.Fprintln(w, "arrayB/posA resynchronization; the resume fast path is unaffected.")
+
+	fmt.Fprintln(w, "\nuLL dispatch under the 1µs quantum (three categories, one queue):")
+	dispatch, err := horse.RunULLDispatch()
+	if err != nil {
+		return err
+	}
+	sort.Slice(dispatch, func(i, j int) bool { return dispatch[i].Demand < dispatch[j].Demand })
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tdemand\tquanta\tcompletion")
+	for _, r := range dispatch {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%v\n", r.Workload, r.Demand, r.Quanta, r.Completion)
+	}
+	return tw.Flush()
+}
+
+func colocation(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("colocation", flag.ContinueOnError)
+	vcpus := fs.Int("vcpus", 36, "vCPUs of the resumed uLL sandboxes")
+	seed := fs.Int64("seed", 7, "deterministic seed")
+	sweep := fs.Bool("sweep", false, "sweep the uLL vCPU count 1..36 like the paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	header(w, "§5.4: colocating uLL resumes with Azure-trace thumbnails")
+	if *sweep {
+		return colocationSweep(w, *seed)
+	}
+	cmp, err := horse.RunColocation(horse.ColocationConfig{ULLVCPUs: *vcpus, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tinvocations\tmean\tp95\tp99\tpreemptions")
+	for _, r := range []horse.ColocationComparison{cmp} {
+		fmt.Fprintf(tw, "vanil\t%d\t%v\t%v\t%v\t%d\n",
+			r.Vanilla.Latency.Count, r.Vanilla.Latency.Mean, r.Vanilla.Latency.P95,
+			r.Vanilla.Latency.P99, r.Vanilla.Preemptions)
+		fmt.Fprintf(tw, "horse\t%d\t%v\t%v\t%v\t%d\n",
+			r.Horse.Latency.Count, r.Horse.Latency.Mean, r.Horse.Latency.P95,
+			r.Horse.Latency.P99, r.Horse.Preemptions)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\np99 inflation: %v (%.5f%%) at %d uLL vCPUs\n",
+		cmp.Horse.Latency.P99-cmp.Vanilla.Latency.P99, cmp.P99InflationPct(), cmp.VCPUs)
+	fmt.Fprintln(w, "Paper: mean and p95 unchanged; p99 +0.00107% (≈30µs) at 36 vCPUs")
+	return nil
+}
+
+// colocationSweep prints the §5.4 tail effect across uLL sandbox sizes.
+func colocationSweep(w io.Writer, seed int64) error {
+	results, err := horse.RunColocationSweep(horse.ColocationConfig{Seed: seed}, nil)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "uLL vCPUs\tp99 vanil\tp99 horse\tp99 delta\tinflation")
+	for _, cmp := range results {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%.5f%%\n",
+			cmp.VCPUs, cmp.Vanilla.Latency.P99, cmp.Horse.Latency.P99,
+			cmp.Horse.Latency.P99-cmp.Vanilla.Latency.P99, cmp.P99InflationPct())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Paper: the p99 effect grows with the uLL sandbox size, up to ≈30µs at 36 vCPUs")
+	return nil
+}
+
+// verify prints the machine-checked reproduction claims.
+func verify(w io.Writer) error {
+	header(w, "Reproduction self-check: paper claims vs this build")
+	claims, err := horse.VerifyClaims()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	failed := 0
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", status, c.ID, c.Claim, c.Measured)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d/%d claims hold\n", len(claims)-failed, len(claims))
+	if failed > 0 {
+		return fmt.Errorf("%d claims failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestSubcommandsProduceExpectedRows(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "table1",
+			args: []string{"table1"},
+			want: []string{"Table 1", "Category 1", "cold init", "warm init"},
+		},
+		{
+			name: "fig1",
+			args: []string{"fig1"},
+			want: []string{"Figure 1", "cold", "restore", "warm"},
+		},
+		{
+			name: "fig2",
+			args: []string{"fig2"},
+			want: []string{"Figure 2", "vCPUs", "merge", "load"},
+		},
+		{
+			name: "fig3",
+			args: []string{"fig3"},
+			want: []string{"Figure 3", "vanil", "horse", "150ns", "faster than vanilla"},
+		},
+		{
+			name: "fig4",
+			args: []string{"fig4"},
+			want: []string{"Figure 4", "horse", "HORSE advantage"},
+		},
+		{
+			name: "ablation",
+			args: []string{"ablation"},
+			want: []string{"ull_runqueues", "background sync work", "150ns"},
+		},
+		{
+			name: "colocation",
+			args: []string{"colocation", "-vcpus", "8", "-seed", "3"},
+			want: []string{"colocating", "p99 inflation", "vanil", "horse"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range tt.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestColocationBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"colocation", "-vcpus", "nope"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFigCSVOutput(t *testing.T) {
+	for _, args := range [][]string{{"fig2", "-csv"}, {"fig3", "-csv"}} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 12 { // header + 11 sweep points
+			t.Fatalf("%v produced %d lines, want 12", args, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "vcpus,") {
+			t.Fatalf("%v header = %q", args, lines[0])
+		}
+		if strings.Contains(buf.String(), "===") {
+			t.Fatalf("%v mixed table header into CSV", args)
+		}
+	}
+}
+
+func TestVerifySubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"verify"}, &buf); err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "claims hold") || strings.Contains(out, "FAIL") {
+		t.Fatalf("unexpected verify output:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFunctionModeCombos(t *testing.T) {
+	for _, fn := range []string{"firewall", "nat", "scan", "thumbnail"} {
+		for _, mode := range []string{"cold", "restore", "warm", "horse"} {
+			if mode == "horse" && fn == "thumbnail" {
+				continue // long-running functions cannot arm the fast path
+			}
+			t.Run(fn+"/"+mode, func(t *testing.T) {
+				var buf bytes.Buffer
+				args := []string{"-function", fn, "-mode", mode, "-triggers", "5"}
+				if err := run(args, &buf); err != nil {
+					t.Fatal(err)
+				}
+				out := buf.String()
+				for _, want := range []string{"init", "exec", "mean init share"} {
+					if !strings.Contains(out, want) {
+						t.Fatalf("output missing %q:\n%s", want, out)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestHorseModeReportsConstantInit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-function", "scan", "-mode", "horse", "-triggers", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "150ns") {
+		t.Fatalf("horse init not constant 150ns:\n%s", buf.String())
+	}
+}
+
+func TestThumbnailHorseRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-function", "thumbnail", "-mode", "horse"}, &buf); err == nil {
+		t.Fatal("thumbnail on the uLL fast path accepted")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	tests := [][]string{
+		{"-function", "bogus"},
+		{"-mode", "bogus"},
+		{"-triggers", "0"},
+		{"-badflag"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

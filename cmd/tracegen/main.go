@@ -1,0 +1,74 @@
+// Command tracegen emits synthetic Azure-style serverless invocation
+// traces in the public dataset's per-minute CSV layout, for replay by the
+// colocation experiment or external tooling.
+//
+// Example:
+//
+//	tracegen -functions 20 -minutes 60 -mean 12 -seed 7 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/horse-faas/horse/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		functions = fs.Int("functions", 10, "number of function rows")
+		minutes   = fs.Int("minutes", 30, "trace length in minutes")
+		mean      = fs.Float64("mean", 12, "mean invocations per function-minute")
+		burst     = fs.Float64("burst", 1.2, "log-normal burstiness sigma")
+		seed      = fs.Int64("seed", 1, "deterministic seed")
+		out       = fs.String("o", "", "output file (default stdout)")
+		stats     = fs.Bool("stats", false, "print per-function totals to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr := trace.Synthesize(trace.SynthConfig{
+		Functions:     *functions,
+		Minutes:       *minutes,
+		MeanPerMinute: *mean,
+		Burstiness:    *burst,
+		Seed:          *seed,
+	})
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		return err
+	}
+	if *stats {
+		s, err := trace.ComputeStats(tr)
+		if err != nil {
+			return err
+		}
+		for _, f := range tr.Functions {
+			fmt.Fprintf(os.Stderr, "%s: %d invocations\n", f.Function, f.Total())
+		}
+		fmt.Fprintf(os.Stderr,
+			"total: %d invocations over %d minutes; mean %.1f/fn-min; peak/mean %.2f; popularity CV %.2f; top decile %.0f%%\n",
+			s.Total, s.Minutes, s.MeanPerMinute, s.PeakToMean, s.CV, 100*s.TopShare)
+	}
+	return nil
+}

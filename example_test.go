@@ -1,0 +1,109 @@
+package horse_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	horse "github.com/horse-faas/horse"
+)
+
+// Example deploys a uLL function and triggers it through the HORSE fast
+// path: the sandbox initialization is a constant 150 ns of virtual time.
+func Example() {
+	p, err := horse.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn := horse.NewScanFunction(42)
+	if _, err := p.Register(fn, horse.SandboxSpec{VCPUs: 1, MemoryMB: 512}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Provision(fn.Name(), 1, horse.PolicyHorse); err != nil {
+		log.Fatal(err)
+	}
+	payload, _ := json.Marshal(horse.ScanRequest{Threshold: 9000})
+	inv, err := p.Trigger(fn.Name(), horse.ModeHorse, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("init:", inv.Init)
+	fmt.Println("exec:", inv.Exec)
+	// Output:
+	// init: 150ns
+	// exec: 700ns
+}
+
+// ExampleNewResumeEngine drives the hypervisor directly and shows that
+// the HORSE resume cost does not depend on the sandbox's vCPU count.
+func ExampleNewResumeEngine() {
+	for _, vcpus := range []int{1, 36} {
+		h, err := horse.NewHypervisor(horse.HypervisorOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := horse.NewResumeEngine(h)
+		sb, err := h.CreateSandbox(horse.SandboxConfig{VCPUs: vcpus, MemoryMB: 512, ULL: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := engine.Pause(sb, horse.PolicyHorse); err != nil {
+			log.Fatal(err)
+		}
+		report, err := engine.Resume(sb, horse.PolicyHorse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d vCPUs: %v\n", vcpus, report.Total)
+	}
+	// Output:
+	// 1 vCPUs: 150ns
+	// 36 vCPUs: 150ns
+}
+
+// ExampleRunFig3 regenerates the paper's headline comparison.
+func ExampleRunFig3() {
+	points, err := horse.RunFig3([]int{36})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := horse.SummarizeFig3(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vanilla: %v, horse: %v\n", sum.VanillaTotal, sum.HorseTotal)
+	// Output:
+	// vanilla: 1.152µs, horse: 150ns
+}
+
+// ExamplePlatform_Replay replays a synthetic Azure-style trace chunk
+// against a deployed function under the HORSE start mode.
+func ExamplePlatform_Replay() {
+	p, err := horse.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn := horse.NewNATFunction()
+	if _, err := p.Register(fn, horse.SandboxSpec{VCPUs: 1, MemoryMB: 256}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Provision(fn.Name(), 1, horse.PolicyHorse); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := horse.SynthesizeTrace(horse.TraceConfig{Functions: 1, Minutes: 1, MeanPerMinute: 20, Seed: 1})
+	arrivals := horse.TraceArrivals(tr, 2)
+	for i := range arrivals {
+		arrivals[i].Function = fn.Name() // remap the trace row onto the deployment
+	}
+	payload, _ := json.Marshal(horse.NATPacket{DstIP: "203.0.113.10", DstPort: 80})
+	report, err := p.Replay(arrivals, horse.ModeHorse, func(string) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("p99 init:", report.Init.P99)
+	// Output:
+	// p99 init: 150ns
+}

@@ -1,0 +1,49 @@
+// Colocation: the paper's §5.4 experiment as a runnable example. An
+// Azure-style trace of long-running thumbnail invocations shares a server
+// with ten uLL sandbox resumes per second; the example sweeps the uLL
+// sandbox size and reports how the thumbnails' tail latency responds
+// under the vanilla path versus HORSE.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	horse "github.com/horse-faas/horse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Thumbnail latency while colocated with 10 uLL resumes/second")
+	fmt.Println("(identical arrivals and service times under both policies)")
+	fmt.Println()
+	fmt.Printf("%-10s %-14s %-14s %-14s %-12s %s\n",
+		"uLL vCPUs", "p99 vanil", "p99 horse", "p99 delta", "inflation", "preemptions")
+
+	for _, vcpus := range []int{1, 8, 16, 36} {
+		cmp, err := horse.RunColocation(horse.ColocationConfig{
+			ULLVCPUs: vcpus,
+			Seed:     7,
+		})
+		if err != nil {
+			return err
+		}
+		delta := cmp.Horse.Latency.P99 - cmp.Vanilla.Latency.P99
+		fmt.Printf("%-10d %-14v %-14v %-14v %-11.5f%% %d\n",
+			vcpus, cmp.Vanilla.Latency.P99, cmp.Horse.Latency.P99,
+			delta, cmp.P99InflationPct(), cmp.Horse.Preemptions)
+	}
+
+	fmt.Println()
+	fmt.Println("Paper §5.4: mean and p95 latencies are unchanged; the 99th")
+	fmt.Println("percentile pays up to ≈30µs (0.00107%) at 36 uLL vCPUs — the")
+	fmt.Println("price of a P²SM merge-thread burst preempting one function.")
+	return nil
+}

@@ -1,0 +1,69 @@
+// Quickstart: deploy an ultra-low-latency function and compare a plain
+// warm start against the HORSE hot resume.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	horse "github.com/horse-faas/horse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := horse.NewPlatform()
+	if err != nil {
+		return err
+	}
+
+	// The Category-3 workload: indexes of array elements above a
+	// threshold, ≈700ns of execution (paper §2).
+	fn := horse.NewScanFunction(42)
+	if _, err := p.Register(fn, horse.SandboxSpec{VCPUs: 1, MemoryMB: 512}); err != nil {
+		return err
+	}
+
+	// Provision one sandbox armed for each path: a plain warm sandbox
+	// (vanilla resume) and a HORSE-armed uLL sandbox.
+	if err := p.Provision(fn.Name(), 1, horse.PolicyVanilla); err != nil {
+		return err
+	}
+	if err := p.Provision(fn.Name(), 1, horse.PolicyHorse); err != nil {
+		return err
+	}
+
+	payload, err := json.Marshal(horse.ScanRequest{Threshold: 9000})
+	if err != nil {
+		return err
+	}
+
+	warm, err := p.Trigger(fn.Name(), horse.ModeWarm, payload)
+	if err != nil {
+		return err
+	}
+	hot, err := p.Trigger(fn.Name(), horse.ModeHorse, payload)
+	if err != nil {
+		return err
+	}
+
+	var res horse.ScanResult
+	if err := json.Unmarshal(hot.Output, &res); err != nil {
+		return err
+	}
+
+	fmt.Printf("scan found %d elements above the threshold\n\n", res.Count)
+	fmt.Printf("%-8s %12s %12s %8s\n", "mode", "init", "exec", "init%")
+	fmt.Printf("%-8s %12v %12v %7.2f%%\n", "warm", warm.Init, warm.Exec, warm.InitPercent())
+	fmt.Printf("%-8s %12v %12v %7.2f%%\n", "horse", hot.Init, hot.Exec, hot.InitPercent())
+	fmt.Printf("\nHORSE cut sandbox initialization from %v to %v (%.1fx)\n",
+		warm.Init, hot.Init, float64(warm.Init)/float64(hot.Init))
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/horse-faas/horse
+
+go 1.22

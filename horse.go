@@ -1,0 +1,320 @@
+// Package horse is a reproduction of "HORSE: Ultra-low latency workloads
+// on FaaS platforms" (Mvondo, Taïani, Bromberg — Middleware '24) as a
+// self-contained Go library.
+//
+// HORSE is a hot-resume fast path for paused FaaS sandboxes hosting
+// ultra-low-latency (uLL) functions. It combines two mechanisms:
+//
+//   - P²SM, a parallel precomputed sorted merge that splices a paused
+//     sandbox's pre-sorted vCPU list into a reserved run queue in O(1),
+//     independent of either list's length; and
+//   - load-update coalescing, which replaces the n per-vCPU affine load
+//     updates L(x)=αx+β with the single closed form αⁿx + β(1-αⁿ)/(1-α),
+//     precomputed at pause time.
+//
+// This package is the public facade: it exposes the FaaS platform (with
+// the paper's four start modes — cold, restore, warm, and HORSE), the
+// resume policies of the evaluation's ablation (vanil/ppsm/coal/horse),
+// the uLL workloads of §2, and the experiment harnesses that regenerate
+// every table and figure of the paper. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Quickstart
+//
+//	p, err := horse.NewPlatform()
+//	// handle err
+//	fn := horse.NewScanFunction(42)
+//	_, err = p.Register(fn, horse.SandboxSpec{VCPUs: 1, MemoryMB: 512})
+//	// handle err
+//	err = p.Provision(fn.Name(), 1, horse.PolicyHorse)
+//	// handle err
+//	inv, err := p.Trigger(fn.Name(), horse.ModeHorse, payload)
+//	// inv.Init is ≈150ns of virtual time, regardless of vCPU count.
+package horse
+
+import (
+	"io"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/experiments"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trace"
+	"github.com/horse-faas/horse/internal/vmm"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+// Core platform types.
+type (
+	// Platform is the FaaS control plane: function registry, warm pools,
+	// keep-alive, and the four trigger start modes.
+	Platform = faas.Platform
+	// PlatformOptions configures NewPlatform.
+	PlatformOptions = faas.Options
+	// SandboxSpec sizes a deployment's sandboxes.
+	SandboxSpec = faas.SandboxSpec
+	// Deployment is a registered function plus its sandbox pool.
+	Deployment = faas.Deployment
+	// Invocation is the outcome of one trigger: virtual init/exec times
+	// plus the function's real output.
+	Invocation = faas.Invocation
+	// StartMode selects how a trigger obtains its sandbox.
+	StartMode = faas.StartMode
+	// Policy selects a pause/resume implementation (the Figure 3 setups).
+	Policy = core.Policy
+	// Function is a deployable FaaS function.
+	Function = workload.Function
+	// Category classifies functions by execution-time class (paper §2).
+	Category = workload.Category
+
+	// Hypervisor is the simulated virtualization system, for callers who
+	// drive pause/resume directly rather than through the platform.
+	Hypervisor = vmm.Hypervisor
+	// HypervisorOptions configures NewHypervisor.
+	HypervisorOptions = vmm.Options
+	// SandboxConfig sizes a directly created sandbox.
+	SandboxConfig = vmm.Config
+	// Sandbox is one microVM.
+	Sandbox = vmm.Sandbox
+	// ResumeEngine is the HORSE engine over a hypervisor.
+	ResumeEngine = core.Engine
+	// ResumeReport is a resume's per-step cost breakdown.
+	ResumeReport = vmm.ResumeReport
+	// PauseReport is a pause's per-step cost breakdown.
+	PauseReport = vmm.PauseReport
+	// CostModel holds the virtual-time calibration (DESIGN.md §5).
+	CostModel = vmm.CostModel
+
+	// Time is a virtual-clock instant; Duration a span of virtual time.
+	Time = simtime.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = simtime.Duration
+)
+
+// Start modes (paper §2 / §5.3).
+const (
+	ModeCold    = faas.ModeCold
+	ModeRestore = faas.ModeRestore
+	ModeWarm    = faas.ModeWarm
+	ModeHorse   = faas.ModeHorse
+)
+
+// Resume policies (the four setups of Figure 3).
+const (
+	PolicyVanilla = core.Vanilla
+	PolicyPPSM    = core.PPSM
+	PolicyCoal    = core.Coal
+	PolicyHorse   = core.Horse
+)
+
+// Workload categories (paper §2).
+const (
+	Category1    = workload.Category1
+	Category2    = workload.Category2
+	Category3    = workload.Category3
+	CategoryLong = workload.CategoryLong
+)
+
+// Virtual time units.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// NewPlatform builds a FaaS platform over a fresh default hypervisor.
+func NewPlatform() (*Platform, error) {
+	return faas.New(faas.Options{})
+}
+
+// NewPlatformWith builds a platform with explicit options.
+func NewPlatformWith(opts PlatformOptions) (*Platform, error) {
+	return faas.New(opts)
+}
+
+// NewHypervisor builds a standalone simulated virtualization system.
+func NewHypervisor(opts HypervisorOptions) (*Hypervisor, error) {
+	return vmm.New(opts)
+}
+
+// NewResumeEngine builds a HORSE engine over a hypervisor.
+func NewResumeEngine(h *Hypervisor) *ResumeEngine {
+	return core.NewEngine(h)
+}
+
+// DefaultCostModel returns the calibrated virtual-time constants for the
+// Firecracker (Linux KVM) flavor of the prototype.
+func DefaultCostModel() CostModel { return vmm.DefaultCostModel() }
+
+// XenCostModel returns the calibration for the Xen 4.17 flavor.
+func XenCostModel() CostModel { return vmm.XenCostModel() }
+
+// Workload constructors (paper §2 and §5.4).
+
+// Workload payload types (JSON-encoded as trigger payloads).
+type (
+	// FirewallRequest is the firewall's input header.
+	FirewallRequest = workload.FirewallRequest
+	// FirewallDecision is the firewall's verdict.
+	FirewallDecision = workload.FirewallDecision
+	// NATPacket is the NAT's input header.
+	NATPacket = workload.NATPacket
+	// NATResult is the NAT's translated header.
+	NATResult = workload.NATResult
+	// ScanRequest is the array scan's threshold parameter.
+	ScanRequest = workload.ScanRequest
+	// ScanResult is the array scan's matching indexes.
+	ScanResult = workload.ScanResult
+	// ThumbnailRequest names a source image and target edge.
+	ThumbnailRequest = workload.ThumbnailRequest
+	// ThumbnailResult describes the generated thumbnail.
+	ThumbnailResult = workload.ThumbnailResult
+)
+
+// NewFirewallFunction returns the Category-1 stateless firewall with a
+// representative NFV allow list.
+func NewFirewallFunction() Function { return workload.DefaultFirewall() }
+
+// NewNATFunction returns the Category-2 NAT header rewriter with a
+// representative rule set.
+func NewNATFunction() Function { return workload.DefaultNAT() }
+
+// NewScanFunction returns the Category-3 array index scan over a
+// deterministic 3000-integer array derived from seed.
+func NewScanFunction(seed int64) Function { return workload.NewScan(seed) }
+
+// NewThumbnailFunction returns the long-running SEBS-style thumbnail
+// generator of §5.4.
+func NewThumbnailFunction() Function { return workload.NewThumbnail() }
+
+// Experiment harnesses: one per table/figure. See cmd/horsebench for a
+// CLI that renders them.
+type (
+	// InitBreakdown is the Table 1 / Figure 1 / Figure 4 result.
+	InitBreakdown = experiments.Table1Result
+	// Fig2Point is one vCPU count of the Figure 2 resume breakdown.
+	Fig2Point = experiments.Fig2Point
+	// Fig3Point is one vCPU count of the Figure 3 policy comparison.
+	Fig3Point = experiments.Fig3Point
+	// Fig3Summary is Figure 3's headline factors.
+	Fig3Summary = experiments.Fig3Summary
+	// OverheadConfig shapes the §5.2 overhead experiment.
+	OverheadConfig = experiments.OverheadConfig
+	// OverheadResult reports HORSE's §5.2 overheads at one vCPU count.
+	OverheadResult = experiments.OverheadResult
+	// ColocationConfig shapes the §5.4 colocation experiment.
+	ColocationConfig = experiments.ColocationConfig
+	// ColocationComparison pairs §5.4's vanilla and HORSE runs.
+	ColocationComparison = experiments.ColocationComparison
+	// ULLQueueSweepConfig shapes the ull_runqueue-count ablation (§4.1.3).
+	ULLQueueSweepConfig = experiments.ULLQueueSweepConfig
+	// ULLQueueSweepPoint is the ablation outcome at one queue count.
+	ULLQueueSweepPoint = experiments.ULLQueueSweepPoint
+	// DispatchResult describes one workload on the 1µs-quantum queue.
+	DispatchResult = experiments.DispatchResult
+	// ClaimResult is one verified reproduction claim.
+	ClaimResult = experiments.ClaimResult
+
+	// TraceConfig shapes a synthetic Azure-style trace.
+	TraceConfig = trace.SynthConfig
+	// Trace is a set of per-minute function invocation counts.
+	Trace = trace.Trace
+	// Arrival is one expanded trace invocation instant.
+	Arrival = trace.Arrival
+	// TraceStats summarizes a trace's arrival process.
+	TraceStats = trace.Stats
+
+	// PayloadFunc supplies trigger payloads during a trace replay.
+	PayloadFunc = faas.PayloadFunc
+	// ReplayReport summarizes a Platform.Replay run.
+	ReplayReport = faas.ReplayReport
+	// PoolStats summarizes a deployment warm pool.
+	PoolStats = faas.PoolStats
+	// DeploymentStats summarizes a deployment's served invocations.
+	DeploymentStats = faas.DeploymentStats
+
+	// KeepAlivePolicy sizes the idle lifetime of pooled warm sandboxes.
+	KeepAlivePolicy = faas.KeepAlivePolicy
+	// FixedKeepAlive keeps every idle sandbox for the same duration.
+	FixedKeepAlive = faas.FixedKeepAlive
+	// HybridKeepAlive learns the window from inter-invocation gaps.
+	HybridKeepAlive = faas.HybridKeepAlive
+)
+
+// RunTable1 regenerates Table 1 (init/exec per category for cold,
+// restore, and warm starts).
+func RunTable1() (InitBreakdown, error) {
+	return experiments.RunInitBreakdown(experiments.Table1Scenarios())
+}
+
+// RunFig4 regenerates Figure 4 (Table 1's scenarios plus HORSE).
+func RunFig4() (InitBreakdown, error) {
+	return experiments.RunInitBreakdown(experiments.Fig4Scenarios())
+}
+
+// RunFig2 regenerates Figure 2 (vanilla resume breakdown vs vCPUs).
+// A nil sweep selects the paper's 1..36 range.
+func RunFig2(vcpus []int) ([]Fig2Point, error) { return experiments.RunFig2(vcpus) }
+
+// RunFig3 regenerates Figure 3 (resume time of the four policies vs
+// vCPUs). A nil sweep selects the paper's 1..36 range.
+func RunFig3(vcpus []int) ([]Fig3Point, error) { return experiments.RunFig3(vcpus) }
+
+// SummarizeFig3 extracts the headline factors from a Figure 3 sweep.
+func SummarizeFig3(points []Fig3Point) (Fig3Summary, error) {
+	return experiments.SummarizeFig3(points)
+}
+
+// RunOverhead regenerates the §5.2 CPU/memory overhead results.
+func RunOverhead(cfg OverheadConfig, vcpus []int) ([]OverheadResult, error) {
+	return experiments.RunOverhead(cfg, vcpus)
+}
+
+// RunColocation regenerates the §5.4 colocation experiment: thumbnail
+// tail latency under vanilla vs HORSE with periodic uLL resumes.
+func RunColocation(cfg ColocationConfig) (ColocationComparison, error) {
+	return experiments.RunColocation(cfg)
+}
+
+// RunColocationSweep repeats the §5.4 comparison across uLL sandbox
+// sizes (the paper sweeps 1..36 vCPUs). A nil sweep selects the default
+// range.
+func RunColocationSweep(cfg ColocationConfig, vcpus []int) ([]ColocationComparison, error) {
+	return experiments.RunColocationSweep(cfg, vcpus)
+}
+
+// RunULLQueueSweep runs the §4.1.3 ablation: how the number of reserved
+// ull_runqueues affects load balancing and the background structure-
+// maintenance cost, while the resume fast path stays constant. A nil
+// sweep selects 1, 2, 4, and 8 queues.
+func RunULLQueueSweep(cfg ULLQueueSweepConfig, queueCounts []int) ([]ULLQueueSweepPoint, error) {
+	return experiments.RunULLQueueSweep(cfg, queueCounts)
+}
+
+// RunULLDispatch demonstrates §4.1.3's 1µs-timeslice claim: concurrent
+// uLL workloads dispatched on one reserved queue.
+func RunULLDispatch() ([]DispatchResult, error) {
+	return experiments.RunULLDispatch()
+}
+
+// VerifyClaims runs every experiment and checks the results against the
+// paper's claims — the machine-checkable version of EXPERIMENTS.md.
+func VerifyClaims() ([]ClaimResult, error) { return experiments.VerifyClaims() }
+
+// SynthesizeTrace generates a deterministic Azure-like invocation trace.
+func SynthesizeTrace(cfg TraceConfig) *Trace { return trace.Synthesize(cfg) }
+
+// ParseTrace reads a trace in the Azure public dataset's per-minute CSV
+// layout.
+func ParseTrace(r io.Reader) (*Trace, error) { return trace.ParseCSV(r) }
+
+// WriteTrace emits a trace in the same CSV layout ParseTrace reads.
+func WriteTrace(w io.Writer, t *Trace) error { return trace.WriteCSV(w, t) }
+
+// TraceArrivals expands a trace's per-minute counts into sorted arrival
+// instants, deterministically by seed.
+func TraceArrivals(t *Trace, seed int64) []Arrival { return t.Arrivals(seed) }
+
+// ComputeTraceStats summarizes a trace's arrival process.
+func ComputeTraceStats(t *Trace) (TraceStats, error) { return trace.ComputeStats(t) }

@@ -1,0 +1,105 @@
+package horse_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	horse "github.com/horse-faas/horse"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart through the
+// public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := horse.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := horse.NewScanFunction(42)
+	if _, err := p.Register(fn, horse.SandboxSpec{VCPUs: 1, MemoryMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision(fn.Name(), 1, horse.PolicyHorse); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]int{"threshold": 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := p.Trigger(fn.Name(), horse.ModeHorse, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Init != 150*horse.Nanosecond {
+		t.Fatalf("Init = %v, want 150ns", inv.Init)
+	}
+	if len(inv.Output) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestPublicAPIDirectHypervisor(t *testing.T) {
+	h, err := horse.NewHypervisor(horse.HypervisorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := horse.NewResumeEngine(h)
+	sb, err := h.CreateSandbox(horse.SandboxConfig{VCPUs: 8, MemoryMB: 256, ULL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pause(sb, horse.PolicyHorse); err != nil {
+		t.Fatal(err)
+	}
+	report, err := engine.Resume(sb, horse.PolicyHorse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total != 150*horse.Nanosecond {
+		t.Fatalf("resume total = %v, want 150ns", report.Total)
+	}
+}
+
+func TestPublicAPIWorkloadConstructors(t *testing.T) {
+	tests := []struct {
+		fn   horse.Function
+		want horse.Category
+	}{
+		{fn: horse.NewFirewallFunction(), want: horse.Category1},
+		{fn: horse.NewNATFunction(), want: horse.Category2},
+		{fn: horse.NewScanFunction(1), want: horse.Category3},
+		{fn: horse.NewThumbnailFunction(), want: horse.CategoryLong},
+	}
+	for _, tt := range tests {
+		if got := tt.fn.Category(); got != tt.want {
+			t.Errorf("%s category = %v, want %v", tt.fn.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	table1, err := horse.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table1.Rows) != 3 {
+		t.Fatalf("table1 rows = %d", len(table1.Rows))
+	}
+	fig3, err := horse.RunFig3([]int{1, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := horse.SummarizeFig3(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.HorseTotal != 150*horse.Nanosecond {
+		t.Fatalf("horse total = %v", sum.HorseTotal)
+	}
+}
+
+func TestPublicAPITraceSynthesis(t *testing.T) {
+	tr := horse.SynthesizeTrace(horse.TraceConfig{Functions: 3, Minutes: 2, Seed: 1})
+	if len(tr.Functions) != 3 {
+		t.Fatalf("functions = %d", len(tr.Functions))
+	}
+}

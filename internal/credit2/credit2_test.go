@@ -1,0 +1,209 @@
+package credit2
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func TestRegisterAndDefaults(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := l.CreditOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CreditInit {
+		t.Fatalf("initial credit = %d, want %d", c, CreditInit)
+	}
+	if l.Len() != 1 || l.Epochs() != 1 || l.Resets() != 0 {
+		t.Fatalf("len=%d epochs=%d resets=%d", l.Len(), l.Epochs(), l.Resets())
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", -1); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("err = %v, want ErrBadWeight", err)
+	}
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("a", 0); err == nil {
+		t.Fatal("double register accepted")
+	}
+}
+
+func TestUnknownEntity(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.CreditOf("x"); !errors.Is(err, ErrUnknownEntity) {
+		t.Fatalf("CreditOf err = %v", err)
+	}
+	if _, err := l.BurnedOf("x"); !errors.Is(err, ErrUnknownEntity) {
+		t.Fatalf("BurnedOf err = %v", err)
+	}
+	if _, err := l.Burn("x", 1); !errors.Is(err, ErrUnknownEntity) {
+		t.Fatalf("Burn err = %v", err)
+	}
+}
+
+func TestBurnDefaultWeight(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := l.Burn("a", 1000*simtime.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CreditInit-1000 {
+		t.Fatalf("credit = %d, want %d", c, CreditInit-1000)
+	}
+	burned, _ := l.BurnedOf("a")
+	if burned != 1000 {
+		t.Fatalf("burned = %v, want 1000", burned)
+	}
+}
+
+func TestBurnWeightScaling(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("heavy", 2*DefaultWeight); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("light", DefaultWeight/2); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := l.Burn("heavy", 1000)
+	cl, _ := l.Burn("light", 1000)
+	if CreditInit-ch != 500 {
+		t.Fatalf("heavy burned %d, want 500 (half rate)", CreditInit-ch)
+	}
+	if CreditInit-cl != 2000 {
+		t.Fatalf("light burned %d, want 2000 (double rate)", CreditInit-cl)
+	}
+}
+
+func TestBurnNegativeRuntime(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Burn("a", -5); err == nil {
+		t.Fatal("negative runtime accepted")
+	}
+}
+
+func TestResetEpochTriggersOnThreshold(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Burn "a" past CreditInit - CreditMin: triggers an epoch.
+	over := simtime.Duration(CreditInit - CreditMin + 1)
+	ca, err := l.Burn("a", over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Resets() != 1 || l.Epochs() != 2 {
+		t.Fatalf("resets=%d epochs=%d, want 1/2", l.Resets(), l.Epochs())
+	}
+	// a received the new allocation on top of its (negative) balance.
+	wantA := CreditMin - 1 + CreditInit
+	if ca != wantA {
+		t.Fatalf("a credit = %d, want %d", ca, wantA)
+	}
+	// b is clipped at CreditInit (no hoarding).
+	cb, _ := l.CreditOf("b")
+	if cb != CreditInit {
+		t.Fatalf("b credit = %d, want clip at %d", cb, CreditInit)
+	}
+}
+
+func TestMinCredit(t *testing.T) {
+	l := NewLedger()
+	if _, _, ok := l.MinCredit(); ok {
+		t.Fatal("MinCredit on empty ledger reported ok")
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := l.Register(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Burn("b", 500); err != nil {
+		t.Fatal(err)
+	}
+	id, credit, ok := l.MinCredit()
+	if !ok || id != "b" || credit != CreditInit-500 {
+		t.Fatalf("MinCredit = %q/%d/%v", id, credit, ok)
+	}
+	// Tie-break by id for determinism.
+	if _, err := l.Burn("c", 500); err != nil {
+		t.Fatal(err)
+	}
+	id, _, _ = l.MinCredit()
+	if id != "b" {
+		t.Fatalf("tie-break picked %q, want b", id)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	l := NewLedger()
+	if err := l.Register("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Unregister("a")
+	if l.Len() != 0 {
+		t.Fatal("entity not removed")
+	}
+	l.Unregister("a") // idempotent
+}
+
+// Property: credits never exceed CreditInit, total burned time is
+// conserved, and every reset raises the minimum credit.
+func TestLedgerInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		l := NewLedger()
+		const entities = 4
+		for i := 0; i < entities; i++ {
+			if err := l.Register(fmt.Sprintf("e%d", i), (i+1)*128); err != nil {
+				return false
+			}
+		}
+		var totalRan simtime.Duration
+		for i, op := range ops {
+			id := fmt.Sprintf("e%d", int(op)%entities)
+			ran := simtime.Duration(op) * 1000
+			if _, err := l.Burn(id, ran); err != nil {
+				return false
+			}
+			totalRan += ran
+			_ = i
+			for j := 0; j < entities; j++ {
+				c, err := l.CreditOf(fmt.Sprintf("e%d", j))
+				if err != nil || c > CreditInit {
+					return false
+				}
+			}
+		}
+		var burned simtime.Duration
+		for j := 0; j < entities; j++ {
+			b, err := l.BurnedOf(fmt.Sprintf("e%d", j))
+			if err != nil {
+				return false
+			}
+			burned += b
+		}
+		return burned == totalRan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

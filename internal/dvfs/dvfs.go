@@ -1,0 +1,234 @@
+// Package dvfs models the dynamic voltage and frequency scaling layer that
+// consumes the run-queue load figure maintained by package pelt.
+//
+// The load variable HORSE coalesces (paper §4.2) exists *because* the
+// virtualization system's governor reads it to pick CPU frequencies. This
+// package provides that consumer so the substrate is complete: governors
+// map a load figure to an operating point, and a frequency domain tracks
+// the current point plus transition statistics for the overhead
+// experiment (§5.2, which pins the host governor to performance mode).
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// KHz is a CPU frequency in kilohertz, the unit cpufreq uses.
+type KHz int64
+
+// CapacityScale is the load figure corresponding to one fully busy CPU,
+// matching pelt.DefaultBeta's scaling.
+const CapacityScale = 1024.0
+
+// Governor maps the current run-queue load to a target frequency chosen
+// from the domain's available operating points (ascending order).
+type Governor interface {
+	// Name returns the cpufreq-style governor name.
+	Name() string
+	// Target picks a frequency from points (sorted ascending, non-empty)
+	// for the given load figure.
+	Target(points []KHz, load float64) KHz
+}
+
+// Performance always selects the highest operating point — the mode the
+// paper's §5.2 experiment pins all cores to.
+type Performance struct{}
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// Target implements Governor.
+func (Performance) Target(points []KHz, _ float64) KHz { return points[len(points)-1] }
+
+// Powersave always selects the lowest operating point.
+type Powersave struct{}
+
+// Name implements Governor.
+func (Powersave) Name() string { return "powersave" }
+
+// Target implements Governor.
+func (Powersave) Target(points []KHz, _ float64) KHz { return points[0] }
+
+// Ondemand jumps to the highest point when utilization exceeds
+// UpThreshold and otherwise scales proportionally, mirroring the classic
+// cpufreq ondemand policy.
+type Ondemand struct {
+	// UpThreshold is the utilization fraction (0,1] above which the
+	// governor selects the maximum frequency. Zero selects the cpufreq
+	// default of 0.80.
+	UpThreshold float64
+}
+
+// Name implements Governor.
+func (Ondemand) Name() string { return "ondemand" }
+
+// Target implements Governor.
+func (g Ondemand) Target(points []KHz, load float64) KHz {
+	up := g.UpThreshold
+	if up <= 0 {
+		up = 0.80
+	}
+	util := load / CapacityScale
+	if util >= up {
+		return points[len(points)-1]
+	}
+	max := points[len(points)-1]
+	want := KHz(util / up * float64(max))
+	return ceilPoint(points, want)
+}
+
+// Schedutil implements the kernel's schedutil formula
+// f = 1.25 · f_max · util / capacity, rounded up to the next operating
+// point.
+type Schedutil struct{}
+
+// Name implements Governor.
+func (Schedutil) Name() string { return "schedutil" }
+
+// Target implements Governor.
+func (Schedutil) Target(points []KHz, load float64) KHz {
+	max := points[len(points)-1]
+	want := KHz(1.25 * float64(max) * load / CapacityScale)
+	return ceilPoint(points, want)
+}
+
+// ceilPoint returns the smallest operating point >= want, or the maximum
+// if want exceeds every point.
+func ceilPoint(points []KHz, want KHz) KHz {
+	i := sort.Search(len(points), func(i int) bool { return points[i] >= want })
+	if i == len(points) {
+		return points[len(points)-1]
+	}
+	return points[i]
+}
+
+// ErrNoPoints reports a frequency domain constructed without operating
+// points.
+var ErrNoPoints = errors.New("dvfs: frequency domain needs at least one operating point")
+
+// Domain is one frequency domain (a core or core cluster): it owns a set
+// of operating points, a governor, and transition statistics.
+type Domain struct {
+	mu          sync.Mutex
+	points      []KHz
+	governor    Governor
+	current     KHz
+	transitions uint64
+	evaluations uint64
+
+	// Frequency residency: virtual time spent at each operating point,
+	// tracked between EvaluateAt calls.
+	residency map[KHz]simtime.Duration
+	lastEval  simtime.Time
+	tracked   bool
+}
+
+// NewDomain builds a domain from the given operating points (any order;
+// duplicates are removed) starting at the lowest point.
+func NewDomain(governor Governor, points ...KHz) (*Domain, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if governor == nil {
+		return nil, errors.New("dvfs: nil governor")
+	}
+	sorted := make([]KHz, 0, len(points))
+	seen := make(map[KHz]bool, len(points))
+	for _, p := range points {
+		if p <= 0 {
+			return nil, fmt.Errorf("dvfs: invalid operating point %d", p)
+		}
+		if !seen[p] {
+			seen[p] = true
+			sorted = append(sorted, p)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Domain{
+		points:    sorted,
+		governor:  governor,
+		current:   sorted[0],
+		residency: make(map[KHz]simtime.Duration, len(sorted)),
+	}, nil
+}
+
+// XeonPlatinum8360YPoints approximates the operating points of the
+// paper's testbed CPU (Intel Xeon Platinum 8360Y, 2.40 GHz base).
+func XeonPlatinum8360YPoints() []KHz {
+	return []KHz{800_000, 1_200_000, 1_600_000, 2_000_000, 2_400_000, 2_800_000, 3_200_000, 3_500_000}
+}
+
+// Governor returns the active governor.
+func (d *Domain) Governor() Governor { return d.governor }
+
+// Current returns the domain's current frequency.
+func (d *Domain) Current() KHz {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.current
+}
+
+// Transitions returns how many frequency changes occurred.
+func (d *Domain) Transitions() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transitions
+}
+
+// Evaluations returns how many governor evaluations ran.
+func (d *Domain) Evaluations() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.evaluations
+}
+
+// Evaluate runs the governor against the given load and applies the
+// chosen frequency, returning it and whether a transition occurred.
+func (d *Domain) Evaluate(load float64) (KHz, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.apply(load)
+}
+
+// EvaluateAt is Evaluate plus frequency-residency tracking: the span
+// since the previous EvaluateAt is credited to the frequency the domain
+// ran at during it. The first call only anchors the clock.
+func (d *Domain) EvaluateAt(load float64, now simtime.Time) (KHz, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tracked && now.After(d.lastEval) {
+		d.residency[d.current] += now.Sub(d.lastEval)
+	}
+	d.tracked = true
+	d.lastEval = now
+	return d.apply(load)
+}
+
+// apply runs the governor; callers hold the mutex.
+func (d *Domain) apply(load float64) (KHz, bool) {
+	d.evaluations++
+	target := d.governor.Target(d.points, load)
+	if target == d.current {
+		return target, false
+	}
+	d.current = target
+	d.transitions++
+	return target, true
+}
+
+// Residency returns a copy of the time spent at each operating point, as
+// tracked by EvaluateAt.
+func (d *Domain) Residency() map[KHz]simtime.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[KHz]simtime.Duration, len(d.residency))
+	for k, v := range d.residency {
+		out[k] = v
+	}
+	return out
+}

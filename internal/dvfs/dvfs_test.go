@@ -1,0 +1,165 @@
+package dvfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var testPoints = []KHz{800_000, 1_600_000, 2_400_000}
+
+func TestPerformanceAlwaysMax(t *testing.T) {
+	g := Performance{}
+	for _, load := range []float64{0, 512, 1024, 99999} {
+		if got := g.Target(testPoints, load); got != 2_400_000 {
+			t.Fatalf("Target(%v) = %d, want max", load, got)
+		}
+	}
+}
+
+func TestPowersaveAlwaysMin(t *testing.T) {
+	g := Powersave{}
+	for _, load := range []float64{0, 1024} {
+		if got := g.Target(testPoints, load); got != 800_000 {
+			t.Fatalf("Target(%v) = %d, want min", load, got)
+		}
+	}
+}
+
+func TestOndemandThreshold(t *testing.T) {
+	g := Ondemand{UpThreshold: 0.8}
+	tests := []struct {
+		name string
+		load float64
+		want KHz
+	}{
+		{name: "idle", load: 0, want: 800_000},
+		{name: "above-threshold", load: 0.9 * CapacityScale, want: 2_400_000},
+		{name: "at-threshold", load: 0.8 * CapacityScale, want: 2_400_000},
+		{name: "mid", load: 0.4 * CapacityScale, want: 1_600_000}, // 0.4/0.8*2.4GHz = 1.2GHz → ceil 1.6GHz
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.Target(testPoints, tt.load); got != tt.want {
+				t.Fatalf("Target(%v) = %d, want %d", tt.load, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOndemandDefaultThreshold(t *testing.T) {
+	g := Ondemand{}
+	if got := g.Target(testPoints, 0.85*CapacityScale); got != 2_400_000 {
+		t.Fatalf("default threshold not 0.80: got %d", got)
+	}
+}
+
+func TestSchedutilFormula(t *testing.T) {
+	g := Schedutil{}
+	// f = 1.25 * 2.4GHz * 512/1024 = 1.5 GHz → ceil to 1.6 GHz.
+	if got := g.Target(testPoints, 512); got != 1_600_000 {
+		t.Fatalf("Target(512) = %d, want 1_600_000", got)
+	}
+	// Saturates at max.
+	if got := g.Target(testPoints, 4*CapacityScale); got != 2_400_000 {
+		t.Fatalf("Target(max) = %d, want max point", got)
+	}
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	if _, err := NewDomain(Performance{}); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+	if _, err := NewDomain(nil, 1000); err == nil {
+		t.Fatal("nil governor accepted")
+	}
+	if _, err := NewDomain(Performance{}, -5); err == nil {
+		t.Fatal("negative operating point accepted")
+	}
+}
+
+func TestNewDomainSortsAndDedups(t *testing.T) {
+	d, err := NewDomain(Powersave{}, 2_400_000, 800_000, 800_000, 1_600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Current(); got != 800_000 {
+		t.Fatalf("initial frequency = %d, want lowest", got)
+	}
+}
+
+func TestDomainEvaluateTracksTransitions(t *testing.T) {
+	d, err := NewDomain(Schedutil{}, testPoints...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := d.Evaluate(CapacityScale); !changed {
+		t.Fatal("full load did not trigger a transition from the floor")
+	}
+	if _, changed := d.Evaluate(CapacityScale); changed {
+		t.Fatal("same load triggered a second transition")
+	}
+	if got := d.Transitions(); got != 1 {
+		t.Fatalf("Transitions = %d, want 1", got)
+	}
+	if got := d.Evaluations(); got != 2 {
+		t.Fatalf("Evaluations = %d, want 2", got)
+	}
+}
+
+func TestXeonPointsSorted(t *testing.T) {
+	pts := XeonPlatinum8360YPoints()
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("points not strictly ascending at %d", i)
+		}
+	}
+}
+
+// Property: every governor returns one of the domain's operating points,
+// for any non-negative load.
+func TestGovernorsReturnValidPoints(t *testing.T) {
+	governors := []Governor{Performance{}, Powersave{}, Ondemand{}, Schedutil{}}
+	valid := make(map[KHz]bool, len(testPoints))
+	for _, p := range testPoints {
+		valid[p] = true
+	}
+	f := func(raw uint32) bool {
+		load := float64(raw % 8192)
+		for _, g := range governors {
+			if !valid[g.Target(testPoints, load)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: governor targets are monotone non-decreasing in load (for the
+// load-sensitive governors), so coalescing the load update cannot change
+// the chosen frequency relative to iterated updates with the same final
+// load figure.
+func TestGovernorMonotoneProperty(t *testing.T) {
+	governors := []Governor{Ondemand{}, Schedutil{}}
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, g := range governors {
+			if g.Target(testPoints, lo) > g.Target(testPoints, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package dvfs
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func TestEvaluateAtTracksResidency(t *testing.T) {
+	d, err := NewDomain(Schedutil{}, testPoints...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor at t=0 under no load: floor frequency.
+	if _, _ = d.EvaluateAt(0, 0); d.Current() != 800_000 {
+		t.Fatalf("anchored at %d", d.Current())
+	}
+	// Full load at t=100: the 0..100 span ran at the floor.
+	d.EvaluateAt(CapacityScale, 100)
+	// Idle again at t=250: 100..250 ran at the max point.
+	d.EvaluateAt(0, 250)
+
+	res := d.Residency()
+	if res[800_000] != 100 {
+		t.Fatalf("floor residency = %v, want 100", res[800_000])
+	}
+	if res[2_400_000] != 150 {
+		t.Fatalf("max residency = %v, want 150", res[2_400_000])
+	}
+}
+
+func TestEvaluateAtIgnoresBackwardsClock(t *testing.T) {
+	d, err := NewDomain(Performance{}, testPoints...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EvaluateAt(0, 100)
+	d.EvaluateAt(0, 50) // out-of-order sample: no negative residency
+	for f, r := range d.Residency() {
+		if r < 0 {
+			t.Fatalf("negative residency %v at %d", r, f)
+		}
+	}
+}
+
+func TestPerformanceModeNeverTransitionsAfterRamp(t *testing.T) {
+	// §5.2 pins the governor to performance: after the initial ramp to
+	// the max point, no further transitions occur regardless of load.
+	d, err := NewDomain(Performance{}, testPoints...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EvaluateAt(0, 0)
+	ramped := d.Transitions()
+	for i := 1; i <= 10; i++ {
+		d.EvaluateAt(float64(i*200), simtime.Time(i*100))
+	}
+	if d.Transitions() != ramped {
+		t.Fatalf("performance mode transitioned %d more times", d.Transitions()-ramped)
+	}
+	res := d.Residency()
+	if res[2_400_000] != 1000 {
+		t.Fatalf("max-point residency = %v, want the whole window", res[2_400_000])
+	}
+}
+
+func TestResidencyReturnsCopy(t *testing.T) {
+	d, err := NewDomain(Powersave{}, testPoints...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EvaluateAt(0, 0)
+	d.EvaluateAt(0, 10)
+	res := d.Residency()
+	res[800_000] = 999999
+	if d.Residency()[800_000] == 999999 {
+		t.Fatal("Residency exposed internal map")
+	}
+}

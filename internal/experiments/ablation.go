@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/vmm"
+)
+
+// ULLQueueSweepConfig shapes the ull_runqueue-count ablation. §4.1.3
+// anticipates high uLL trigger rates: "we can increase the number of
+// ull_runqueue", with paused sandboxes load-balanced across them. The
+// design trade-off is background maintenance: every P²SM splice into a
+// queue must resynchronize the arrayB/posA of every *other* sandbox
+// paused on the same queue, so more queues mean fewer sibling updates.
+type ULLQueueSweepConfig struct {
+	// Sandboxes is the number of concurrently paused uLL sandboxes
+	// (default 16).
+	Sandboxes int
+	// VCPUs per sandbox (default 8).
+	VCPUs int
+	// Cycles is how many pause/resume rounds each sandbox performs
+	// (default 4).
+	Cycles int
+}
+
+func (c *ULLQueueSweepConfig) applyDefaults() {
+	if c.Sandboxes == 0 {
+		c.Sandboxes = 16
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 8
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 4
+	}
+}
+
+// ULLQueueSweepPoint is the ablation outcome at one queue count.
+type ULLQueueSweepPoint struct {
+	Queues int
+	// MaxAssigned is the largest number of paused sandboxes sharing one
+	// queue (the load-balancing quality).
+	MaxAssigned int
+	// SyncWork is the total background arrayB/posA resynchronization
+	// cost across the whole run.
+	SyncWork simtime.Duration
+	// ResumeTotal confirms the fast path stays constant: every resume's
+	// critical-path cost (they are all equal under HORSE).
+	ResumeTotal simtime.Duration
+}
+
+// RunULLQueueSweep runs the ablation across queue counts. A nil sweep
+// selects 1, 2, 4, and 8 queues.
+func RunULLQueueSweep(cfg ULLQueueSweepConfig, queueCounts []int) ([]ULLQueueSweepPoint, error) {
+	cfg.applyDefaults()
+	if len(queueCounts) == 0 {
+		queueCounts = []int{1, 2, 4, 8}
+	}
+	var out []ULLQueueSweepPoint
+	for _, queues := range queueCounts {
+		pt, err := runULLQueuePoint(cfg, queues)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ull-queue sweep queues=%d: %w", queues, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func runULLQueuePoint(cfg ULLQueueSweepConfig, queues int) (ULLQueueSweepPoint, error) {
+	h, err := vmm.New(vmm.Options{ULLQueues: queues})
+	if err != nil {
+		return ULLQueueSweepPoint{}, err
+	}
+	engine := core.NewEngine(h)
+
+	sandboxes := make([]*vmm.Sandbox, 0, cfg.Sandboxes)
+	for i := 0; i < cfg.Sandboxes; i++ {
+		sb, err := h.CreateSandbox(vmm.Config{VCPUs: cfg.VCPUs, MemoryMB: 256, ULL: true})
+		if err != nil {
+			return ULLQueueSweepPoint{}, err
+		}
+		sandboxes = append(sandboxes, sb)
+	}
+
+	pt := ULLQueueSweepPoint{Queues: queues}
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for _, sb := range sandboxes {
+			if _, err := engine.Pause(sb, core.Horse); err != nil {
+				return ULLQueueSweepPoint{}, err
+			}
+		}
+		// Load-balancing quality is observable while everything is
+		// paused.
+		if cycle == 0 {
+			for _, q := range h.ULLQueues() {
+				if q.ObserverCount() > pt.MaxAssigned {
+					pt.MaxAssigned = q.ObserverCount()
+				}
+			}
+		}
+		// Advance virtual time so the vCPUs' credits evolve between
+		// cycles, exercising P²SM with changing sort keys.
+		h.Clock().Advance(5 * simtime.Millisecond)
+		for _, sb := range sandboxes {
+			report, err := engine.Resume(sb, core.Horse)
+			if err != nil {
+				return ULLQueueSweepPoint{}, err
+			}
+			pt.ResumeTotal = report.Total
+		}
+	}
+	pt.SyncWork = engine.BackgroundSyncWork()
+	return pt, nil
+}

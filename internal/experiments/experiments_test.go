@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := RunInitBreakdown(Table1Scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 categories", len(res.Rows))
+	}
+	// Table 1's anchor cells.
+	for _, row := range res.Rows {
+		cold := row.Cells["cold"]
+		if cold.Init != simtime.Duration(1.5*float64(simtime.Second)) {
+			t.Fatalf("%s cold init = %v, want 1.5e6µs", row.Category, cold.Init)
+		}
+		if cold.InitPct < 99.9 {
+			t.Fatalf("%s cold init%% = %v, want 99.99", row.Category, cold.InitPct)
+		}
+		restore := row.Cells["restore"]
+		if restore.Init < 1200*simtime.Microsecond || restore.Init > 1400*simtime.Microsecond {
+			t.Fatalf("%s restore init = %v, want ≈1300µs", row.Category, restore.Init)
+		}
+		warm := row.Cells["warm"]
+		if warm.Init != 1100*simtime.Nanosecond {
+			t.Fatalf("%s warm init = %v, want 1.1µs", row.Category, warm.Init)
+		}
+	}
+	// Per-category warm init shares: 6.07 / 42.3 / 61.1 in the paper.
+	warmPcts := []struct {
+		category string
+		lo, hi   float64
+	}{
+		{category: "Category 1", lo: 5.5, hi: 6.6},
+		{category: "Category 2", lo: 40, hi: 44},
+		{category: "Category 3", lo: 59, hi: 63},
+	}
+	for _, want := range warmPcts {
+		row := findRow(t, res, want.category)
+		got := row.Cells["warm"].InitPct
+		if got < want.lo || got > want.hi {
+			t.Errorf("%s warm init%% = %.2f, want [%v,%v]", want.category, got, want.lo, want.hi)
+		}
+	}
+}
+
+func findRow(t *testing.T, res Table1Result, prefix string) Table1Row {
+	t.Helper()
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row.Category, prefix) {
+			return row
+		}
+	}
+	t.Fatalf("no row with prefix %q", prefix)
+	return Table1Row{}
+}
+
+func TestFig4HorseOutclassesOtherModes(t *testing.T) {
+	res, err := RunInitBreakdown(Fig4Scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4: HORSE's init share is in [0.77, 17.64]% across the
+	// categories and is the lowest of every scenario.
+	for _, row := range res.Rows {
+		horse := row.Cells["horse"].InitPct
+		if horse < 0.5 || horse > 18.5 {
+			t.Errorf("%s horse init%% = %.2f, want within the paper's [0.77,17.64] band", row.Category, horse)
+		}
+		for name, cell := range row.Cells {
+			if name == "horse" {
+				continue
+			}
+			if cell.InitPct <= horse {
+				t.Errorf("%s: %s init%% %.2f <= horse %.2f", row.Category, name, cell.InitPct, horse)
+			}
+		}
+	}
+	speedups, err := res.SpeedupVsHorse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "HORSE outclasses warm by up to 8.95x, restore by up to 142.7x,
+	// and cold by up to 142.84x." Our calibration yields ≈7x / ≈115x /
+	// ≈116x for Category 1 (shape: cold ≳ restore >> warm > horse).
+	var maxWarm, maxRestore, maxCold float64
+	for _, m := range speedups {
+		maxWarm = max(maxWarm, m["warm"])
+		maxRestore = max(maxRestore, m["restore"])
+		maxCold = max(maxCold, m["cold"])
+	}
+	if maxWarm < 5 || maxWarm > 10 {
+		t.Errorf("max warm/horse = %.2f, want ≈7-9", maxWarm)
+	}
+	if maxRestore < 90 || maxCold < 90 {
+		t.Errorf("restore/horse = %.1f cold/horse = %.1f, want >> 90", maxRestore, maxCold)
+	}
+	if maxCold < maxRestore {
+		t.Errorf("cold speedup %.1f < restore %.1f, want cold >= restore", maxCold, maxRestore)
+	}
+}
+
+func TestFig2BreakdownShape(t *testing.T) {
+	points, err := RunFig2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].VCPUs != 1 || points[len(points)-1].VCPUs != 36 {
+		t.Fatalf("sweep endpoints = %d..%d, want 1..36", points[0].VCPUs, points[len(points)-1].VCPUs)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Total <= points[i-1].Total {
+			t.Fatalf("resume total not increasing at %d vCPUs", points[i].VCPUs)
+		}
+		if points[i].TwoOpsShare < points[i-1].TwoOpsShare {
+			t.Fatalf("two-ops share not monotone at %d vCPUs", points[i].VCPUs)
+		}
+	}
+	last := points[len(points)-1]
+	if last.TwoOpsShare < 0.875 || last.TwoOpsShare > 0.95 {
+		t.Fatalf("two-ops share at 36 vCPUs = %.3f, want Figure 2's ≈0.931", last.TwoOpsShare)
+	}
+	// Every paper step must be present in the breakdown.
+	labels := make(map[string]bool)
+	for _, s := range last.Steps {
+		labels[s.Label] = true
+	}
+	for _, want := range []string{"parse", "lock", "sanity", "merge", "load", "finalize"} {
+		if !labels[want] {
+			t.Fatalf("step %q missing from breakdown %v", want, last.Steps)
+		}
+	}
+}
+
+func TestFig3MatchesPaper(t *testing.T) {
+	points, err := RunFig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Totals[core.Horse] != 150*simtime.Nanosecond {
+			t.Fatalf("horse at %d vCPUs = %v, want constant 150ns", pt.VCPUs, pt.Totals[core.Horse])
+		}
+		if !(pt.Totals[core.Vanilla] > pt.Totals[core.Coal] &&
+			pt.Totals[core.Coal] > pt.Totals[core.PPSM] &&
+			pt.Totals[core.PPSM] > pt.Totals[core.Horse]) {
+			t.Fatalf("ordering violated at %d vCPUs: %v", pt.VCPUs, pt.Totals)
+		}
+	}
+	sum, err := SummarizeFig3(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.HorseSpeedup < 6.5 || sum.HorseSpeedup > 8.5 {
+		t.Fatalf("speedup = %.2f, want ≈7.2 (paper: up to 7.16)", sum.HorseSpeedup)
+	}
+	if sum.HorseImprovement < 0.80 || sum.HorseImprovement > 0.90 {
+		t.Fatalf("improvement = %.2f, want ≈0.85", sum.HorseImprovement)
+	}
+	if sum.CoalSaving < 0.15 || sum.CoalSaving > 0.25 {
+		t.Fatalf("coal saving = %.2f, want ≈0.20", sum.CoalSaving)
+	}
+	if sum.PPSMSaving < 0.50 || sum.PPSMSaving > 0.70 {
+		t.Fatalf("ppsm saving = %.2f, want 0.55-0.69", sum.PPSMSaving)
+	}
+}
+
+func TestSummarizeFig3Empty(t *testing.T) {
+	if _, err := SummarizeFig3(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	results, err := RunOverhead(OverheadConfig{}, []int{1, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	at36 := results[1]
+	// §5.2: ≈528 KB of P²SM structures for 10 paused sandboxes over a
+	// production-busy reserved queue.
+	if at36.PSMMemoryBytes < 450_000 || at36.PSMMemoryBytes > 650_000 {
+		t.Fatalf("PSM memory = %d bytes, want ≈528KB", at36.PSMMemoryBytes)
+	}
+	// The paper's overall claim: CPU and memory overhead < 1%.
+	if at36.MemoryOverheadPct >= 1 {
+		t.Fatalf("memory overhead = %.3f%%, want < 1%%", at36.MemoryOverheadPct)
+	}
+	if at36.PauseCPUPct >= 0.3 || at36.PauseCPUPct < 0 {
+		t.Fatalf("pause CPU overhead = %.4f%%, want [0, 0.3)", at36.PauseCPUPct)
+	}
+	if at36.ResumeCPUPct >= 2.7 {
+		t.Fatalf("resume CPU overhead = %.4f%%, want < 2.7", at36.ResumeCPUPct)
+	}
+	// Pause-side extra work grows with vCPUs (per-vCPU structure builds).
+	if results[0].PauseExtraWork >= at36.PauseExtraWork {
+		t.Fatalf("pause extra work did not grow: %v vs %v", results[0].PauseExtraWork, at36.PauseExtraWork)
+	}
+}
+
+func TestColocationMatchesPaper(t *testing.T) {
+	cmp, err := RunColocation(ColocationConfig{ULLVCPUs: 36, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, h := cmp.Vanilla.Latency, cmp.Horse.Latency
+	if v.Count == 0 || v.Count != h.Count {
+		t.Fatalf("sample counts: vanil=%d horse=%d", v.Count, h.Count)
+	}
+	if cmp.Vanilla.Preemptions != 0 {
+		t.Fatalf("vanilla run had %d preemptions", cmp.Vanilla.Preemptions)
+	}
+	if cmp.Horse.Preemptions == 0 {
+		t.Fatal("horse run saw no merge-thread preemptions; the tail effect cannot appear")
+	}
+	// §5.4: mean and p95 indistinguishable (difference far below the
+	// paper's measurement floor), p99 inflated by ≈30 µs.
+	// A p95 shift of one or two burst penalties (≤ ~60 µs on a 2.8 s
+	// latency, i.e. ≤ 0.002%) is below the paper's reporting floor.
+	if d := h.P95 - v.P95; d < 0 || d > 70*simtime.Microsecond {
+		t.Fatalf("p95 shifted by %v", d)
+	}
+	p99delta := h.P99 - v.P99
+	if p99delta <= 0 || p99delta > 60*simtime.Microsecond {
+		t.Fatalf("p99 delta = %v, want ≈30µs (0 < d <= 60µs)", p99delta)
+	}
+	if pct := cmp.P99InflationPct(); pct <= 0 || pct > 0.01 {
+		t.Fatalf("p99 inflation = %.5f%%, want ≈0.001%%", pct)
+	}
+}
+
+func TestColocationSmallSandboxesSmallerTail(t *testing.T) {
+	big, err := RunColocation(ColocationConfig{ULLVCPUs: 36, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := RunColocation(ColocationConfig{ULLVCPUs: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigDelta := big.Horse.Latency.P99 - big.Vanilla.Latency.P99
+	smallDelta := small.Horse.Latency.P99 - small.Vanilla.Latency.P99
+	if smallDelta >= bigDelta {
+		t.Fatalf("1-vCPU tail delta %v >= 36-vCPU delta %v", smallDelta, bigDelta)
+	}
+}
+
+func TestColocationDeterministic(t *testing.T) {
+	a, err := RunColocation(ColocationConfig{ULLVCPUs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunColocation(ColocationConfig{ULLVCPUs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horse.Latency != b.Horse.Latency || a.Vanilla.Latency != b.Vanilla.Latency {
+		t.Fatal("same seed produced different latency summaries")
+	}
+}
+
+func TestColocationSweepMonotone(t *testing.T) {
+	results, err := RunColocationSweep(ColocationConfig{Seed: 7}, []int{1, 8, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var prev simtime.Duration = -1
+	for _, cmp := range results {
+		delta := cmp.Horse.Latency.P99 - cmp.Vanilla.Latency.P99
+		if delta <= prev {
+			t.Fatalf("p99 delta not increasing with vCPUs: %v at %d vCPUs after %v", delta, cmp.VCPUs, prev)
+		}
+		prev = delta
+	}
+}
+
+func TestVerifyClaimsAllPass(t *testing.T) {
+	claims, err := VerifyClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 20 {
+		t.Fatalf("claims = %d, want the full checklist", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim failed: [%s] %s — measured %s", c.ID, c.Claim, c.Measured)
+		}
+		if c.ID == "" || c.Claim == "" || c.Measured == "" {
+			t.Errorf("claim missing fields: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/vmm"
+)
+
+// DefaultVCPUSweep is the paper's 1..36 vCPU sweep, sampled at the points
+// the figures plot.
+func DefaultVCPUSweep() []int { return []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36} }
+
+// Fig2Point is the resume-step breakdown at one vCPU count (Figure 2).
+type Fig2Point struct {
+	VCPUs       int
+	Total       simtime.Duration
+	Steps       []simtime.StopwatchResult
+	TwoOpsShare float64
+}
+
+// RunFig2 reproduces Figure 2: the vanilla resume breakdown as the vCPU
+// count grows, showing steps ④ (sorted merge) and ⑤ (load update)
+// dominating.
+func RunFig2(vcpuCounts []int) ([]Fig2Point, error) {
+	if len(vcpuCounts) == 0 {
+		vcpuCounts = DefaultVCPUSweep()
+	}
+	var out []Fig2Point
+	for _, n := range vcpuCounts {
+		report, err := resumeOnce(n, core.Vanilla)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 vcpus=%d: %w", n, err)
+		}
+		out = append(out, Fig2Point{
+			VCPUs:       n,
+			Total:       report.Total,
+			Steps:       report.Steps,
+			TwoOpsShare: report.TwoOpsShare(),
+		})
+	}
+	return out, nil
+}
+
+// Fig3Point is the resume time of the four setups at one vCPU count.
+type Fig3Point struct {
+	VCPUs  int
+	Totals map[core.Policy]simtime.Duration
+}
+
+// Fig3Policies are the four setups of Figure 3.
+func Fig3Policies() []core.Policy {
+	return []core.Policy{core.Vanilla, core.Coal, core.PPSM, core.Horse}
+}
+
+// RunFig3 reproduces Figure 3: resume time for vanil / coal / ppsm /
+// horse across the vCPU sweep.
+func RunFig3(vcpuCounts []int) ([]Fig3Point, error) {
+	if len(vcpuCounts) == 0 {
+		vcpuCounts = DefaultVCPUSweep()
+	}
+	var out []Fig3Point
+	for _, n := range vcpuCounts {
+		point := Fig3Point{VCPUs: n, Totals: make(map[core.Policy]simtime.Duration, 4)}
+		for _, policy := range Fig3Policies() {
+			report, err := resumeOnce(n, policy)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig3 vcpus=%d policy=%s: %w", n, policy, err)
+			}
+			point.Totals[policy] = report.Total
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// Fig3Summary condenses a Figure 3 sweep into the paper's headline
+// comparisons at the largest vCPU count.
+type Fig3Summary struct {
+	VCPUs            int
+	VanillaTotal     simtime.Duration
+	HorseTotal       simtime.Duration
+	HorseSpeedup     float64 // vanil/horse
+	HorseImprovement float64 // 1 - horse/vanil
+	CoalSaving       float64 // 1 - coal/vanil
+	PPSMSaving       float64 // 1 - ppsm/vanil
+}
+
+// Summarize extracts the headline factors from the last sweep point.
+func SummarizeFig3(points []Fig3Point) (Fig3Summary, error) {
+	if len(points) == 0 {
+		return Fig3Summary{}, fmt.Errorf("experiments: empty fig3 sweep")
+	}
+	last := points[len(points)-1]
+	vanil := last.Totals[core.Vanilla]
+	horse := last.Totals[core.Horse]
+	if vanil == 0 || horse == 0 {
+		return Fig3Summary{}, fmt.Errorf("experiments: incomplete fig3 point %+v", last)
+	}
+	return Fig3Summary{
+		VCPUs:            last.VCPUs,
+		VanillaTotal:     vanil,
+		HorseTotal:       horse,
+		HorseSpeedup:     float64(vanil) / float64(horse),
+		HorseImprovement: 1 - float64(horse)/float64(vanil),
+		CoalSaving:       1 - float64(last.Totals[core.Coal])/float64(vanil),
+		PPSMSaving:       1 - float64(last.Totals[core.PPSM])/float64(vanil),
+	}, nil
+}
+
+// resumeOnce builds a fresh hypervisor, creates a uLL sandbox with n
+// vCPUs, pauses and resumes it under the policy, and returns the resume
+// breakdown.
+func resumeOnce(n int, policy core.Policy) (vmm.ResumeReport, error) {
+	h, err := vmm.New(vmm.Options{})
+	if err != nil {
+		return vmm.ResumeReport{}, err
+	}
+	engine := core.NewEngine(h)
+	sb, err := h.CreateSandbox(vmm.Config{VCPUs: n, MemoryMB: 512, ULL: true})
+	if err != nil {
+		return vmm.ResumeReport{}, err
+	}
+	if _, err := engine.Pause(sb, policy); err != nil {
+		return vmm.ResumeReport{}, err
+	}
+	return engine.Resume(sb, policy)
+}

@@ -1,0 +1,175 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness builds a fresh deterministic platform,
+// runs the experiment on virtual time, and returns structured results
+// that cmd/horsebench renders and the benchmark suite asserts against.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+// Scenario is one FaaS start mode under measurement.
+type Scenario struct {
+	Name string
+	Mode faas.StartMode
+}
+
+// Table1Scenarios are the three modes of Table 1 / Figure 1.
+func Table1Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "cold", Mode: faas.ModeCold},
+		{Name: "restore", Mode: faas.ModeRestore},
+		{Name: "warm", Mode: faas.ModeWarm},
+	}
+}
+
+// Fig4Scenarios adds HORSE (Figure 4).
+func Fig4Scenarios() []Scenario {
+	return append(Table1Scenarios(), Scenario{Name: "horse", Mode: faas.ModeHorse})
+}
+
+// CategoryCase is one uLL workload category under test.
+type CategoryCase struct {
+	// Label is the paper's category name.
+	Label string
+	// Build constructs the function.
+	Build func() workload.Function
+	// Payload is a representative trigger payload.
+	Payload func() ([]byte, error)
+}
+
+// Categories returns the three uLL workload categories of §2.
+func Categories() []CategoryCase {
+	return []CategoryCase{
+		{
+			Label: "Category 1 (<=20us, firewall)",
+			Build: func() workload.Function { return workload.DefaultFirewall() },
+			Payload: func() ([]byte, error) {
+				return json.Marshal(workload.FirewallRequest{SrcIP: "10.1.2.3", DstPort: 443})
+			},
+		},
+		{
+			Label: "Category 2 (<=1us, NAT)",
+			Build: func() workload.Function { return workload.DefaultNAT() },
+			Payload: func() ([]byte, error) {
+				return json.Marshal(workload.NATPacket{DstIP: "203.0.113.10", DstPort: 80})
+			},
+		},
+		{
+			Label: "Category 3 (100s ns, scan)",
+			Build: func() workload.Function { return workload.NewScan(42) },
+			Payload: func() ([]byte, error) {
+				return json.Marshal(workload.ScanRequest{Threshold: 5000})
+			},
+		},
+	}
+}
+
+// Table1Cell is one (category, scenario) measurement.
+type Table1Cell struct {
+	Init    simtime.Duration
+	Exec    simtime.Duration
+	InitPct float64
+}
+
+// Table1Row is one workload category across scenarios.
+type Table1Row struct {
+	Category string
+	Exec     simtime.Duration
+	Cells    map[string]Table1Cell
+}
+
+// Table1Result reproduces Table 1 (and, through the percentages, Figure
+// 1; with the horse scenario included, Figure 4).
+type Table1Result struct {
+	Scenarios []string
+	Rows      []Table1Row
+}
+
+// RunInitBreakdown measures init/exec per category and scenario on fresh
+// platforms — shared engine for Table 1, Figure 1, and Figure 4.
+func RunInitBreakdown(scenarios []Scenario) (Table1Result, error) {
+	res := Table1Result{}
+	for _, s := range scenarios {
+		res.Scenarios = append(res.Scenarios, s.Name)
+	}
+	for _, cat := range Categories() {
+		row := Table1Row{
+			Category: cat.Label,
+			Cells:    make(map[string]Table1Cell, len(scenarios)),
+		}
+		for _, sc := range scenarios {
+			inv, err := triggerOnce(cat, sc.Mode)
+			if err != nil {
+				return Table1Result{}, fmt.Errorf("experiments: %s/%s: %w", cat.Label, sc.Name, err)
+			}
+			row.Exec = inv.Exec
+			row.Cells[sc.Name] = Table1Cell{
+				Init:    inv.Init,
+				Exec:    inv.Exec,
+				InitPct: inv.InitPercent(),
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// triggerOnce builds a fresh platform, provisions whatever the mode
+// needs, and fires one trigger. The measurement is deterministic, so one
+// trigger is exact (the paper's 10 repetitions handle hardware noise we
+// do not have).
+func triggerOnce(cat CategoryCase, mode faas.StartMode) (faas.Invocation, error) {
+	p, err := faas.New(faas.Options{})
+	if err != nil {
+		return faas.Invocation{}, err
+	}
+	fn := cat.Build()
+	if _, err := p.Register(fn, faas.SandboxSpec{VCPUs: 1, MemoryMB: 512}); err != nil {
+		return faas.Invocation{}, err
+	}
+	switch mode {
+	case faas.ModeWarm:
+		if err := p.Provision(fn.Name(), 1, core.Vanilla); err != nil {
+			return faas.Invocation{}, err
+		}
+	case faas.ModeHorse:
+		if err := p.Provision(fn.Name(), 1, core.Horse); err != nil {
+			return faas.Invocation{}, err
+		}
+	}
+	payload, err := cat.Payload()
+	if err != nil {
+		return faas.Invocation{}, err
+	}
+	return p.Trigger(fn.Name(), mode, payload)
+}
+
+// SpeedupVsHorse returns, per category, the factor by which each
+// scenario's init share exceeds HORSE's (Figure 4's "outclasses warm by
+// up to 8.95x" style numbers). The result requires the horse scenario to
+// be present.
+func (r Table1Result) SpeedupVsHorse() (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64, len(r.Rows))
+	for _, row := range r.Rows {
+		horse, ok := row.Cells["horse"]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no horse scenario in result")
+		}
+		m := make(map[string]float64)
+		for name, cell := range row.Cells {
+			if name == "horse" || horse.InitPct == 0 {
+				continue
+			}
+			m[name] = cell.InitPct / horse.InitPct
+		}
+		out[row.Category] = m
+	}
+	return out, nil
+}

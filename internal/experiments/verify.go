@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// ClaimResult is one verified reproduction claim.
+type ClaimResult struct {
+	// ID names the paper artifact the claim comes from.
+	ID string
+	// Claim states what the paper reports.
+	Claim string
+	// Measured is this reproduction's value.
+	Measured string
+	// Pass reports whether the measured value falls in the accepted band.
+	Pass bool
+}
+
+// VerifyClaims runs every experiment and checks this reproduction's
+// results against the paper's claims (with the calibrated tolerance
+// bands documented in EXPERIMENTS.md). It is the machine-checkable
+// version of the EXPERIMENTS.md tables: `horsebench verify` prints it,
+// and a failing claim means the reproduction regressed.
+func VerifyClaims() ([]ClaimResult, error) {
+	var out []ClaimResult
+	add := func(id, claim, measured string, pass bool) {
+		out = append(out, ClaimResult{ID: id, Claim: claim, Measured: measured, Pass: pass})
+	}
+
+	// Table 1 / Figure 1.
+	t1, err := RunInitBreakdown(Table1Scenarios())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify table1: %w", err)
+	}
+	warm := t1.Rows[0].Cells["warm"]
+	add("Table 1", "warm init = 1.1µs (1 vCPU)",
+		warm.Init.String(), warm.Init == 1100*simtime.Nanosecond)
+	restore := t1.Rows[0].Cells["restore"]
+	add("Table 1", "restore init ≈ 1300µs (FaaSnap)",
+		restore.Init.String(),
+		restore.Init >= 1200*simtime.Microsecond && restore.Init <= 1400*simtime.Microsecond)
+	cold := t1.Rows[0].Cells["cold"]
+	add("Table 1", "cold init = 1.5×10⁶µs",
+		cold.Init.String(), cold.Init == simtime.Duration(1.5*float64(simtime.Second)))
+	warmShares := []struct {
+		row    int
+		lo, hi float64
+		want   string
+	}{
+		{row: 0, lo: 5.5, hi: 6.6, want: "6.07"},
+		{row: 1, lo: 40, hi: 44, want: "42.3"},
+		{row: 2, lo: 59, hi: 63, want: "61.1"},
+	}
+	for _, ws := range warmShares {
+		got := t1.Rows[ws.row].Cells["warm"].InitPct
+		add("Fig. 1", fmt.Sprintf("warm init%% ≈ %s%% (%s)", ws.want, t1.Rows[ws.row].Category),
+			fmt.Sprintf("%.2f%%", got), got >= ws.lo && got <= ws.hi)
+	}
+
+	// Figure 2.
+	fig2, err := RunFig2(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify fig2: %w", err)
+	}
+	last2 := fig2[len(fig2)-1]
+	add("Fig. 2", "steps ④+⑤ = 87.5-93.1% of the resume (36 vCPUs)",
+		fmt.Sprintf("%.1f%%", 100*last2.TwoOpsShare),
+		last2.TwoOpsShare >= 0.875 && last2.TwoOpsShare <= 0.95)
+	monotone := true
+	for i := 1; i < len(fig2); i++ {
+		if fig2[i].Total <= fig2[i-1].Total || fig2[i].TwoOpsShare < fig2[i-1].TwoOpsShare {
+			monotone = false
+		}
+	}
+	add("Fig. 2", "resume cost and two-ops share grow with vCPUs",
+		fmt.Sprintf("monotone=%v", monotone), monotone)
+
+	// Figure 3.
+	fig3, err := RunFig3(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify fig3: %w", err)
+	}
+	constant := true
+	ordered := true
+	for _, pt := range fig3 {
+		if pt.Totals[core.Horse] != 150*simtime.Nanosecond {
+			constant = false
+		}
+		if !(pt.Totals[core.Vanilla] > pt.Totals[core.Coal] &&
+			pt.Totals[core.Coal] > pt.Totals[core.PPSM] &&
+			pt.Totals[core.PPSM] > pt.Totals[core.Horse]) {
+			ordered = false
+		}
+	}
+	add("Fig. 3", "HORSE resume constant ≈150ns at every vCPU count",
+		fmt.Sprintf("constant=%v", constant), constant)
+	add("Fig. 3", "ordering vanil > coal > ppsm > horse everywhere",
+		fmt.Sprintf("ordered=%v", ordered), ordered)
+	sum, err := SummarizeFig3(fig3)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig. 3", "HORSE up to ≈7.16x faster than vanilla",
+		fmt.Sprintf("%.2fx", sum.HorseSpeedup), sum.HorseSpeedup >= 6.5 && sum.HorseSpeedup <= 8.5)
+	add("Fig. 3", "coal alone saves up to ≈20%",
+		fmt.Sprintf("%.1f%%", 100*sum.CoalSaving), sum.CoalSaving >= 0.15 && sum.CoalSaving <= 0.25)
+	add("Fig. 3", "ppsm alone saves 55-69%",
+		fmt.Sprintf("%.1f%%", 100*sum.PPSMSaving), sum.PPSMSaving >= 0.50 && sum.PPSMSaving <= 0.70)
+
+	// §5.2 overhead.
+	overhead, err := RunOverhead(OverheadConfig{}, []int{36})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify overhead: %w", err)
+	}
+	oh := overhead[0]
+	add("§5.2", "P²SM memory ≈528KB for 10 paused sandboxes",
+		fmt.Sprintf("%.1fKB", float64(oh.PSMMemoryBytes)/1024),
+		oh.PSMMemoryBytes >= 450_000 && oh.PSMMemoryBytes <= 650_000)
+	add("§5.2", "CPU and memory overhead < 1%",
+		fmt.Sprintf("mem=%.4f%% pause=%.5f%% resume=%.5f%%",
+			oh.MemoryOverheadPct, oh.PauseCPUPct, oh.ResumeCPUPct),
+		oh.MemoryOverheadPct < 1 && oh.PauseCPUPct < 0.3 && oh.ResumeCPUPct < 2.7)
+
+	// Figure 4.
+	fig4, err := RunInitBreakdown(Fig4Scenarios())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify fig4: %w", err)
+	}
+	lowest := true
+	inBand := true
+	for _, row := range fig4.Rows {
+		horsePct := row.Cells["horse"].InitPct
+		if horsePct < 0.5 || horsePct > 18.5 {
+			inBand = false
+		}
+		for name, cell := range row.Cells {
+			if name != "horse" && cell.InitPct <= horsePct {
+				lowest = false
+			}
+		}
+	}
+	add("Fig. 4", "HORSE init share within 0.77-17.64% across categories",
+		fmt.Sprintf("in-band=%v", inBand), inBand)
+	add("Fig. 4", "HORSE has the lowest init share in every cell",
+		fmt.Sprintf("lowest=%v", lowest), lowest)
+
+	// §5.4 colocation.
+	cmp, err := RunColocation(ColocationConfig{ULLVCPUs: 36, Seed: 7})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify colocation: %w", err)
+	}
+	delta := cmp.Horse.Latency.P99 - cmp.Vanilla.Latency.P99
+	add("§5.4", "p99 inflation ≈30µs at 36 uLL vCPUs",
+		delta.String(), delta > 0 && delta <= 60*simtime.Microsecond)
+	p95 := cmp.Horse.Latency.P95 - cmp.Vanilla.Latency.P95
+	add("§5.4", "mean/p95 effectively unchanged (< measurement floor)",
+		fmt.Sprintf("p95 delta %v", p95), p95 >= 0 && p95 <= 70*simtime.Microsecond)
+	add("§5.4", "vanilla path causes no preemptions",
+		fmt.Sprintf("%d preemptions", cmp.Vanilla.Preemptions), cmp.Vanilla.Preemptions == 0)
+
+	// §4.1.3 ablation.
+	queues, err := RunULLQueueSweep(ULLQueueSweepConfig{}, []int{1, 4})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: verify ablation: %w", err)
+	}
+	add("§4.1.3", "more ull_runqueues shrink background maintenance",
+		fmt.Sprintf("%v (1 queue) vs %v (4 queues)", queues[0].SyncWork, queues[1].SyncWork),
+		queues[1].SyncWork < queues[0].SyncWork)
+
+	return out, nil
+}

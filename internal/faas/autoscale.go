@@ -1,0 +1,109 @@
+package faas
+
+import (
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// PoolStats summarizes one deployment's warm pool.
+type PoolStats struct {
+	// Size is the number of paused sandboxes ready to serve triggers.
+	Size int
+	// ByPolicy counts pool entries per resume policy.
+	ByPolicy map[core.Policy]int
+	// OldestIdle is the longest a pooled sandbox has sat paused.
+	OldestIdle simtime.Duration
+}
+
+// PoolStats returns the deployment's current pool summary.
+func (p *Platform) PoolStats(name string) (PoolStats, error) {
+	d, err := p.Deployment(name)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	stats := PoolStats{
+		Size:     len(d.pool),
+		ByPolicy: make(map[core.Policy]int),
+	}
+	now := p.clock.Now()
+	for _, ps := range d.pool {
+		stats.ByPolicy[ps.policy]++
+		if idle := now.Sub(ps.pausedAt); idle > stats.OldestIdle {
+			stats.OldestIdle = idle
+		}
+	}
+	return stats, nil
+}
+
+// ScaleTo adjusts the deployment's pool of sandboxes armed for the given
+// policy to exactly target entries — the control knob behind provisioned
+// concurrency: providers grow the pool ahead of predicted demand and
+// shrink it when the subscription drops.
+//
+// Growing creates and pauses fresh sandboxes; shrinking destroys the
+// longest-idle entries first (their snapshot of the queue state is the
+// stalest).
+func (p *Platform) ScaleTo(name string, target int, policy core.Policy) error {
+	if target < 0 {
+		return fmt.Errorf("faas: negative pool target %d", target)
+	}
+	d, err := p.Deployment(name)
+	if err != nil {
+		return err
+	}
+	current := 0
+	for _, ps := range d.pool {
+		if ps.policy == policy {
+			current++
+		}
+	}
+	switch {
+	case current < target:
+		return p.Provision(name, target-current, policy)
+	case current > target:
+		return p.shrinkPool(d, current-target, policy)
+	default:
+		return nil
+	}
+}
+
+// shrinkPool destroys n pool entries of the given policy, oldest first.
+func (p *Platform) shrinkPool(d *Deployment, n int, policy core.Policy) error {
+	for ; n > 0; n-- {
+		oldest := -1
+		for i, ps := range d.pool {
+			if ps.policy != policy {
+				continue
+			}
+			if oldest == -1 || ps.pausedAt < d.pool[oldest].pausedAt {
+				oldest = i
+			}
+		}
+		if oldest == -1 {
+			return fmt.Errorf("faas: pool shrink found no %q entries", policy)
+		}
+		ps := d.pool[oldest]
+		d.pool = append(d.pool[:oldest], d.pool[oldest+1:]...)
+		p.engine.Forget(ps.sb)
+		if err := p.h.DestroySandbox(ps.sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnsureWarm tops the pool up so at least target sandboxes armed for the
+// policy are ready, without ever shrinking — the reconciliation step a
+// background autoscaler runs after every burst of triggers.
+func (p *Platform) EnsureWarm(name string, target int, policy core.Policy) error {
+	stats, err := p.PoolStats(name)
+	if err != nil {
+		return err
+	}
+	if have := stats.ByPolicy[policy]; have < target {
+		return p.Provision(name, target-have, policy)
+	}
+	return nil
+}

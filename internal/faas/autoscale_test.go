@@ -1,0 +1,203 @@
+package faas
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+func TestPoolStats(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 2, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	p.Clock().Advance(3 * simtime.Second)
+	if err := p.Provision("scan", 1, core.Vanilla); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.PoolStats("scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Size != 3 {
+		t.Fatalf("Size = %d, want 3", stats.Size)
+	}
+	if stats.ByPolicy[core.Horse] != 2 || stats.ByPolicy[core.Vanilla] != 1 {
+		t.Fatalf("ByPolicy = %v", stats.ByPolicy)
+	}
+	if stats.OldestIdle < 3*simtime.Second {
+		t.Fatalf("OldestIdle = %v, want >= 3s", stats.OldestIdle)
+	}
+	if _, err := p.PoolStats("missing"); err == nil {
+		t.Fatal("unknown deployment accepted")
+	}
+}
+
+func TestScaleToGrows(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.ScaleTo("scan", 4, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := p.PoolStats("scan")
+	if stats.ByPolicy[core.Horse] != 4 {
+		t.Fatalf("pool = %v, want 4 horse entries", stats.ByPolicy)
+	}
+	// Idempotent at target.
+	if err := p.ScaleTo("scan", 4, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ = p.PoolStats("scan")
+	if stats.Size != 4 {
+		t.Fatalf("Size = %d after no-op scale, want 4", stats.Size)
+	}
+}
+
+func TestScaleToShrinksOldestFirst(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	p.Clock().Advance(simtime.Second)
+	if err := p.Provision("scan", 2, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ScaleTo("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := p.PoolStats("scan")
+	if stats.ByPolicy[core.Horse] != 1 {
+		t.Fatalf("pool = %v, want 1", stats.ByPolicy)
+	}
+	// The survivor is one of the fresher sandboxes.
+	if stats.OldestIdle >= simtime.Second {
+		t.Fatalf("OldestIdle = %v; shrink did not evict the oldest", stats.OldestIdle)
+	}
+	if p.Hypervisor().Sandboxes() != 1 {
+		t.Fatalf("live sandboxes = %d, want 1", p.Hypervisor().Sandboxes())
+	}
+	if p.Engine().PreparedSandboxes() != 1 {
+		t.Fatalf("prepared = %d, want 1 (others forgotten)", p.Engine().PreparedSandboxes())
+	}
+}
+
+func TestScaleToPolicyIsolation(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 2, core.Vanilla); err != nil {
+		t.Fatal(err)
+	}
+	// Scaling the horse pool to zero must not touch vanilla entries.
+	if err := p.ScaleTo("scan", 0, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := p.PoolStats("scan")
+	if stats.ByPolicy[core.Vanilla] != 2 {
+		t.Fatalf("vanilla pool disturbed: %v", stats.ByPolicy)
+	}
+}
+
+func TestScaleToValidation(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.ScaleTo("scan", -1, core.Horse); err == nil {
+		t.Fatal("negative target accepted")
+	}
+	if err := p.ScaleTo("missing", 1, core.Horse); err == nil {
+		t.Fatal("unknown deployment accepted")
+	}
+}
+
+func TestEnsureWarmTopsUpOnly(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.EnsureWarm("scan", 2, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := p.PoolStats("scan")
+	if stats.ByPolicy[core.Horse] != 2 {
+		t.Fatalf("pool = %v, want 2", stats.ByPolicy)
+	}
+	// Already above target: no shrink.
+	if err := p.EnsureWarm("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ = p.PoolStats("scan")
+	if stats.ByPolicy[core.Horse] != 2 {
+		t.Fatalf("EnsureWarm shrank the pool: %v", stats.ByPolicy)
+	}
+}
+
+func TestAutoscaleUnderTriggerLoad(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.Register(workload.DefaultNAT(), SandboxSpec{VCPUs: 1, MemoryMB: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ScaleTo("nat", 3, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	payload := mustJSON(t, workload.NATPacket{DstIP: "203.0.113.10", DstPort: 80})
+	// Triggers consume and re-pause pool entries; the reconciler keeps
+	// the pool at target throughout.
+	for i := 0; i < 30; i++ {
+		if _, err := p.Trigger("nat", ModeHorse, payload); err != nil {
+			t.Fatalf("trigger %d: %v", i, err)
+		}
+		if err := p.EnsureWarm("nat", 3, core.Horse); err != nil {
+			t.Fatal(err)
+		}
+		stats, _ := p.PoolStats("nat")
+		if stats.ByPolicy[core.Horse] < 3 {
+			t.Fatalf("trigger %d: pool fell to %v", i, stats.ByPolicy)
+		}
+	}
+}
+
+func TestDeploymentStats(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	// No invocations yet: zero stats, no error.
+	empty, err := p.Stats("scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Invocations) != 0 || empty.Init.Count != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+	if _, err := p.Stats("missing"); err == nil {
+		t.Fatal("unknown deployment accepted")
+	}
+
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	payload := scanPayload(t)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Trigger("scan", ModeHorse, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Trigger("scan", ModeCold, payload); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Stats("scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invocations[ModeHorse] != 5 || stats.Invocations[ModeCold] != 1 {
+		t.Fatalf("invocations = %v", stats.Invocations)
+	}
+	if stats.Init.Count != 6 {
+		t.Fatalf("init samples = %d, want 6", stats.Init.Count)
+	}
+	if stats.Init.Min != 150*simtime.Nanosecond {
+		t.Fatalf("min init = %v, want the horse fast path", stats.Init.Min)
+	}
+	if stats.Init.Max != simtime.Duration(1.5*float64(simtime.Second)) {
+		t.Fatalf("max init = %v, want the cold start", stats.Init.Max)
+	}
+}

@@ -1,0 +1,415 @@
+// Package faas implements the Function-as-a-Service platform layer of the
+// reproduction: function registry, trigger routing, warm-sandbox pools
+// with keep-alive, provisioned concurrency, and the four start modes the
+// paper evaluates (cold, restore, warm, and HORSE).
+//
+// The mode taxonomy follows §2 and §5.3:
+//
+//   - Cold: create a sandbox from scratch (microVM boot + runtime init,
+//     Table 1: 1.5×10⁶ µs).
+//   - Restore: restore a FaaSnap-style snapshot (Table 1: 1300 µs).
+//   - Warm: reuse a paused sandbox via the platform dispatch path plus
+//     the vanilla resume (Table 1: 1.1 µs for 1 vCPU).
+//   - Horse: reuse a paused uLL sandbox via the pre-armed fast path; the
+//     trigger rings the resume doorbell directly, so initialization is
+//     just the ≈150 ns hot resume.
+package faas
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/snapshot"
+	"github.com/horse-faas/horse/internal/vmm"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+// StartMode selects how a trigger obtains its sandbox.
+type StartMode int
+
+// Start modes.
+const (
+	// ModeCold creates the sandbox from scratch.
+	ModeCold StartMode = iota + 1
+	// ModeRestore restores it from a snapshot.
+	ModeRestore
+	// ModeWarm resumes a paused sandbox through the vanilla path.
+	ModeWarm
+	// ModeHorse resumes a paused uLL sandbox through the HORSE fast path.
+	ModeHorse
+)
+
+// String returns the mode's name as used in the paper's figures.
+func (m StartMode) String() string {
+	switch m {
+	case ModeCold:
+		return "cold"
+	case ModeRestore:
+		return "restore"
+	case ModeWarm:
+		return "warm"
+	case ModeHorse:
+		return "horse"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Errors reported by the platform.
+var (
+	ErrUnknownFunction = errors.New("faas: unknown function")
+	ErrAlreadyDeployed = errors.New("faas: function already deployed")
+	ErrNoWarmSandbox   = errors.New("faas: no warm sandbox available")
+	ErrUnknownMode     = errors.New("faas: unknown start mode")
+	ErrNotULLFunction  = errors.New("faas: HORSE mode requires a uLL deployment")
+)
+
+// SandboxSpec sizes the sandboxes of a deployment.
+type SandboxSpec struct {
+	VCPUs    int
+	MemoryMB int
+	// KeepAlive is how long an idle warm sandbox survives before the
+	// reaper destroys it (0 selects the 10-minute industry default).
+	// Ignored when KeepAlivePolicy is set.
+	KeepAlive simtime.Duration
+	// KeepAlivePolicy, if non-nil, sizes the idle window dynamically
+	// (e.g. HybridKeepAlive) instead of the fixed KeepAlive duration.
+	KeepAlivePolicy KeepAlivePolicy
+	// WorkingSet is the snapshot working-set fraction for restore mode
+	// (0 selects 5%).
+	WorkingSet float64
+}
+
+// DefaultKeepAlive mirrors the fixed keep-alive windows of production
+// platforms (paper §1's keep-alive strategy references).
+const DefaultKeepAlive = 10 * 60 * simtime.Second
+
+type pooledSandbox struct {
+	sb       *vmm.Sandbox
+	policy   core.Policy
+	pausedAt simtime.Time
+}
+
+// Deployment is one registered function plus its sandbox pool.
+type Deployment struct {
+	fn       workload.Function
+	spec     SandboxSpec
+	snapshot *snapshot.Snapshot
+	pool     []pooledSandbox
+
+	// Inter-invocation gap history feeding dynamic keep-alive policies.
+	gaps         []simtime.Duration
+	lastTrigger  simtime.Time
+	hasTriggered bool
+
+	// stats accumulates served-invocation timings (lazily allocated).
+	stats *statsRecorder
+}
+
+// Function returns the deployed function.
+func (d *Deployment) Function() workload.Function { return d.fn }
+
+// WarmPoolSize returns how many paused sandboxes are ready.
+func (d *Deployment) WarmPoolSize() int { return len(d.pool) }
+
+// Invocation is the outcome of one trigger.
+type Invocation struct {
+	Function string
+	Mode     StartMode
+	// Init is the sandbox initialization time: everything between the
+	// trigger and the function starting to execute.
+	Init simtime.Duration
+	// Exec is the function execution time.
+	Exec simtime.Duration
+	// Output is the function's real output payload.
+	Output []byte
+	// Sandbox is the id of the sandbox that served the invocation.
+	Sandbox string
+}
+
+// Total returns init + exec.
+func (i Invocation) Total() simtime.Duration { return i.Init + i.Exec }
+
+// InitPercent returns the sandbox-initialization share of the pipeline —
+// the quantity Figures 1 and 4 plot.
+func (i Invocation) InitPercent() float64 {
+	total := i.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(i.Init) / float64(total)
+}
+
+// Platform is the FaaS control plane over one hypervisor.
+type Platform struct {
+	h      *vmm.Hypervisor
+	engine *core.Engine
+	snaps  *snapshot.Store
+	clock  *simtime.Clock
+
+	deployments map[string]*Deployment
+	reaped      uint64
+}
+
+// Options configures a Platform.
+type Options struct {
+	// Hypervisor to run on; nil builds one from the fields below.
+	Hypervisor *vmm.Hypervisor
+	// CPUs is the general-purpose core count when Hypervisor is nil
+	// (default 36).
+	CPUs int
+	// ULLQueues is the number of reserved ull_runqueues when Hypervisor
+	// is nil (default 1). Raise it for high uLL trigger rates (§4.1.3).
+	ULLQueues int
+	// Costs overrides the hypervisor cost model when Hypervisor is nil
+	// (zero selects vmm.DefaultCostModel; vmm.XenCostModel selects the
+	// Xen flavor).
+	Costs vmm.CostModel
+	// SnapshotCosts overrides the snapshot cost model.
+	SnapshotCosts snapshot.CostModel
+}
+
+// New builds a platform.
+func New(opts Options) (*Platform, error) {
+	h := opts.Hypervisor
+	if h == nil {
+		var err error
+		h, err = vmm.New(vmm.Options{
+			CPUs:      opts.CPUs,
+			ULLQueues: opts.ULLQueues,
+			Costs:     opts.Costs,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Platform{
+		h:           h,
+		engine:      core.NewEngine(h),
+		snaps:       snapshot.NewStore(h.Clock(), opts.SnapshotCosts),
+		clock:       h.Clock(),
+		deployments: make(map[string]*Deployment),
+	}, nil
+}
+
+// Hypervisor returns the underlying hypervisor.
+func (p *Platform) Hypervisor() *vmm.Hypervisor { return p.h }
+
+// Engine returns the HORSE engine.
+func (p *Platform) Engine() *core.Engine { return p.engine }
+
+// Clock returns the platform's virtual clock.
+func (p *Platform) Clock() *simtime.Clock { return p.clock }
+
+// Reaped returns how many idle sandboxes the keep-alive reaper destroyed.
+func (p *Platform) Reaped() uint64 { return p.reaped }
+
+// Register deploys a function.
+func (p *Platform) Register(fn workload.Function, spec SandboxSpec) (*Deployment, error) {
+	if fn == nil {
+		return nil, errors.New("faas: nil function")
+	}
+	if _, ok := p.deployments[fn.Name()]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrAlreadyDeployed, fn.Name())
+	}
+	if spec.VCPUs < 1 || spec.MemoryMB <= 0 {
+		return nil, fmt.Errorf("faas: invalid spec %+v", spec)
+	}
+	if spec.KeepAlive == 0 {
+		spec.KeepAlive = DefaultKeepAlive
+	}
+	if spec.WorkingSet == 0 {
+		spec.WorkingSet = 0.05
+	}
+	d := &Deployment{fn: fn, spec: spec}
+	p.deployments[fn.Name()] = d
+	return d, nil
+}
+
+// Deployment looks up a deployment by function name.
+func (p *Platform) Deployment(name string) (*Deployment, error) {
+	d, ok := p.deployments[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, name)
+	}
+	return d, nil
+}
+
+// sandboxConfig derives the vmm config for a deployment.
+func (d *Deployment) sandboxConfig(ull bool) vmm.Config {
+	return vmm.Config{VCPUs: d.spec.VCPUs, MemoryMB: d.spec.MemoryMB, ULL: ull}
+}
+
+// Provision pre-creates n paused sandboxes for the deployment — the
+// provisioned-concurrency option of Azure Premium Functions / Lambda
+// Provisioned Concurrency the paper describes. policy selects the resume
+// path the pool is armed for (core.Vanilla arms the plain warm path;
+// core.Horse arms the fast path and flags the sandboxes uLL).
+func (p *Platform) Provision(name string, n int, policy core.Policy) error {
+	d, err := p.Deployment(name)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("faas: provision count %d", n)
+	}
+	if policy != core.Vanilla && !d.fn.Category().ULL() {
+		return fmt.Errorf("%w: %q is %v", ErrNotULLFunction, name, d.fn.Category())
+	}
+	for i := 0; i < n; i++ {
+		sb, err := p.h.CreateSandbox(d.sandboxConfig(policy != core.Vanilla))
+		if err != nil {
+			return err
+		}
+		if _, err := p.engine.Pause(sb, policy); err != nil {
+			return err
+		}
+		d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
+	}
+	return nil
+}
+
+// EnsureSnapshot cuts the deployment's restore-mode snapshot if missing.
+func (p *Platform) EnsureSnapshot(name string) error {
+	d, err := p.Deployment(name)
+	if err != nil {
+		return err
+	}
+	if d.snapshot != nil {
+		return nil
+	}
+	snap, err := p.snaps.Create(d.sandboxConfig(false), d.spec.WorkingSet)
+	if err != nil {
+		return err
+	}
+	d.snapshot = snap
+	return nil
+}
+
+// takeWarm pops a pooled sandbox armed with the wanted policy.
+func (d *Deployment) takeWarm(policy core.Policy) (pooledSandbox, bool) {
+	for i, ps := range d.pool {
+		if ps.policy == policy {
+			d.pool = append(d.pool[:i], d.pool[i+1:]...)
+			return ps, true
+		}
+	}
+	return pooledSandbox{}, false
+}
+
+// Trigger invokes a function under the given start mode and returns the
+// invocation record. The returned Init and Exec durations are virtual
+// time; Output is the function's real result on the real payload.
+func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocation, error) {
+	d, err := p.Deployment(name)
+	if err != nil {
+		return Invocation{}, err
+	}
+	d.recordTrigger(p.clock.Now())
+	if mode == ModeRestore {
+		// Cutting the snapshot is a deploy-time operation; it must not
+		// count toward the trigger's initialization window.
+		if err := p.EnsureSnapshot(name); err != nil {
+			return Invocation{}, err
+		}
+	}
+	start := p.clock.Now()
+
+	var (
+		sb     *vmm.Sandbox
+		policy = core.Vanilla
+	)
+	switch mode {
+	case ModeCold:
+		p.clock.Advance(p.h.Costs().ColdInit)
+		sb, err = p.h.CreateSandbox(d.sandboxConfig(false))
+		if err != nil {
+			return Invocation{}, err
+		}
+	case ModeRestore:
+		sb, err = p.snaps.Restore(p.h, d.snapshot)
+		if err != nil {
+			return Invocation{}, err
+		}
+	case ModeWarm:
+		p.clock.Advance(p.h.Costs().WarmDispatch)
+		ps, ok := d.takeWarm(core.Vanilla)
+		if !ok {
+			return Invocation{}, fmt.Errorf("%w: %q (warm)", ErrNoWarmSandbox, name)
+		}
+		sb = ps.sb
+		if _, err := p.engine.Resume(sb, core.Vanilla); err != nil {
+			return Invocation{}, err
+		}
+	case ModeHorse:
+		ps, ok := d.takeWarm(core.Horse)
+		if !ok {
+			return Invocation{}, fmt.Errorf("%w: %q (horse)", ErrNoWarmSandbox, name)
+		}
+		sb = ps.sb
+		policy = core.Horse
+		if _, err := p.engine.Resume(sb, core.Horse); err != nil {
+			return Invocation{}, err
+		}
+	default:
+		return Invocation{}, fmt.Errorf("%w: %d", ErrUnknownMode, int(mode))
+	}
+
+	ready := p.clock.Now()
+
+	// Execute the real function logic and charge the calibrated virtual
+	// execution time.
+	output, invokeErr := d.fn.Invoke(payload)
+	p.clock.Advance(d.fn.VirtualDuration())
+	end := p.clock.Now()
+
+	// Return the sandbox to the pool, re-armed for the same path.
+	if _, perr := p.engine.Pause(sb, policy); perr != nil {
+		return Invocation{}, perr
+	}
+	d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
+
+	if invokeErr != nil {
+		return Invocation{}, fmt.Errorf("faas: invoking %q: %w", name, invokeErr)
+	}
+	inv := Invocation{
+		Function: name,
+		Mode:     mode,
+		Init:     ready.Sub(start),
+		Exec:     end.Sub(ready),
+		Output:   output,
+		Sandbox:  sb.ID(),
+	}
+	if d.stats == nil {
+		d.stats = newStatsRecorder()
+	}
+	d.stats.record(inv)
+	return inv, nil
+}
+
+// Reap destroys pooled sandboxes idle past their deployment's keep-alive
+// window and returns how many were destroyed.
+func (p *Platform) Reap() (int, error) {
+	reaped := 0
+	now := p.clock.Now()
+	for _, d := range p.deployments {
+		window := d.keepAliveWindow()
+		kept := d.pool[:0]
+		for _, ps := range d.pool {
+			if now.Sub(ps.pausedAt) > window {
+				p.engine.Forget(ps.sb)
+				if err := p.h.DestroySandbox(ps.sb); err != nil {
+					return reaped, err
+				}
+				reaped++
+				continue
+			}
+			kept = append(kept, ps)
+		}
+		d.pool = kept
+	}
+	p.reaped += uint64(reaped)
+	return reaped, nil
+}

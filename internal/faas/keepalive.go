@@ -1,0 +1,136 @@
+package faas
+
+import (
+	"sort"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// KeepAlivePolicy decides how long an idle warm sandbox survives before
+// the reaper destroys it. The paper's §1 describes the industry baseline
+// — "keeping a sandbox active for a fixed time after the function that
+// was running ends its execution" — and cites the characterization work
+// (Shahrad et al., "Serverless in the Wild") that motivated usage-driven
+// windows; both are provided here.
+type KeepAlivePolicy interface {
+	// Name identifies the policy in stats and logs.
+	Name() string
+	// Window returns the idle lifetime for a deployment whose recent
+	// inter-invocation gaps are given (most recent last; possibly empty).
+	Window(gaps []simtime.Duration) simtime.Duration
+}
+
+// FixedKeepAlive keeps every idle sandbox for the same duration — the
+// classic production default.
+type FixedKeepAlive struct {
+	// D is the idle lifetime; 0 selects DefaultKeepAlive.
+	D simtime.Duration
+}
+
+var _ KeepAlivePolicy = FixedKeepAlive{}
+
+// Name implements KeepAlivePolicy.
+func (FixedKeepAlive) Name() string { return "fixed" }
+
+// Window implements KeepAlivePolicy.
+func (f FixedKeepAlive) Window([]simtime.Duration) simtime.Duration {
+	if f.D <= 0 {
+		return DefaultKeepAlive
+	}
+	return f.D
+}
+
+// HybridKeepAlive sizes the window from the deployment's observed
+// inter-invocation gaps: long enough to cover the chosen percentile of
+// gaps (times a safety margin), clamped to [Min, Max]. Deployments with
+// no history get Max, mirroring the conservative cold-start-avoidance of
+// histogram-based keep-alive.
+type HybridKeepAlive struct {
+	// Percentile of observed gaps to cover, in (0,100]; 0 selects 99.
+	Percentile float64
+	// Margin multiplies the percentile gap; 0 selects 1.2.
+	Margin float64
+	// Min and Max clamp the window; zeros select 10s and
+	// DefaultKeepAlive.
+	Min simtime.Duration
+	Max simtime.Duration
+}
+
+var _ KeepAlivePolicy = HybridKeepAlive{}
+
+// Name implements KeepAlivePolicy.
+func (HybridKeepAlive) Name() string { return "hybrid" }
+
+// Window implements KeepAlivePolicy.
+func (h HybridKeepAlive) Window(gaps []simtime.Duration) simtime.Duration {
+	pct := h.Percentile
+	if pct <= 0 || pct > 100 {
+		pct = 99
+	}
+	margin := h.Margin
+	if margin <= 0 {
+		margin = 1.2
+	}
+	minW := h.Min
+	if minW <= 0 {
+		minW = 10 * simtime.Second
+	}
+	maxW := h.Max
+	if maxW <= 0 {
+		maxW = DefaultKeepAlive
+	}
+	if len(gaps) == 0 {
+		return maxW
+	}
+	sorted := make([]simtime.Duration, len(gaps))
+	copy(sorted, gaps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(pct/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	w := simtime.Duration(float64(sorted[rank]) * margin)
+	if w < minW {
+		w = minW
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// gapHistoryCap bounds the per-deployment gap ring.
+const gapHistoryCap = 64
+
+// recordTrigger appends the inter-invocation gap observed at a trigger.
+func (d *Deployment) recordTrigger(now simtime.Time) {
+	if d.hasTriggered {
+		gap := now.Sub(d.lastTrigger)
+		if len(d.gaps) == gapHistoryCap {
+			copy(d.gaps, d.gaps[1:])
+			d.gaps = d.gaps[:gapHistoryCap-1]
+		}
+		d.gaps = append(d.gaps, gap)
+	}
+	d.hasTriggered = true
+	d.lastTrigger = now
+}
+
+// keepAliveWindow resolves the deployment's current idle lifetime.
+func (d *Deployment) keepAliveWindow() simtime.Duration {
+	if d.spec.KeepAlivePolicy != nil {
+		return d.spec.KeepAlivePolicy.Window(d.gaps)
+	}
+	return d.spec.KeepAlive
+}
+
+// Gaps returns a copy of the recorded inter-invocation gaps (most recent
+// last).
+func (d *Deployment) Gaps() []simtime.Duration {
+	out := make([]simtime.Duration, len(d.gaps))
+	copy(out, d.gaps)
+	return out
+}

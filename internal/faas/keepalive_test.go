@@ -1,0 +1,131 @@
+package faas
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+func TestFixedKeepAliveWindow(t *testing.T) {
+	if got := (FixedKeepAlive{}).Window(nil); got != DefaultKeepAlive {
+		t.Fatalf("zero fixed window = %v, want default", got)
+	}
+	if got := (FixedKeepAlive{D: 5 * simtime.Second}).Window([]simtime.Duration{1, 2}); got != 5*simtime.Second {
+		t.Fatalf("window = %v, want 5s", got)
+	}
+	if (FixedKeepAlive{}).Name() != "fixed" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestHybridKeepAliveWindow(t *testing.T) {
+	policy := HybridKeepAlive{Percentile: 99, Margin: 1.0, Min: simtime.Second, Max: 100 * simtime.Second}
+	if got := policy.Window(nil); got != 100*simtime.Second {
+		t.Fatalf("no-history window = %v, want Max", got)
+	}
+	gaps := make([]simtime.Duration, 100)
+	for i := range gaps {
+		gaps[i] = simtime.Duration(i+1) * simtime.Second
+	}
+	// p99 of 1..100s = 99s, margin 1.0 → 99s.
+	if got := policy.Window(gaps); got != 99*simtime.Second {
+		t.Fatalf("window = %v, want 99s", got)
+	}
+	// Clamps.
+	low := HybridKeepAlive{Percentile: 50, Margin: 1, Min: 30 * simtime.Second, Max: 60 * simtime.Second}
+	if got := low.Window([]simtime.Duration{simtime.Second}); got != 30*simtime.Second {
+		t.Fatalf("min clamp = %v, want 30s", got)
+	}
+	if got := low.Window([]simtime.Duration{500 * simtime.Second}); got != 60*simtime.Second {
+		t.Fatalf("max clamp = %v, want 60s", got)
+	}
+	// Defaults: percentile 99, margin 1.2.
+	def := HybridKeepAlive{}
+	got := def.Window([]simtime.Duration{10 * simtime.Second})
+	if got != 12*simtime.Second {
+		t.Fatalf("default window = %v, want 12s (10s × 1.2)", got)
+	}
+	if def.Name() != "hybrid" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestDeploymentRecordsGaps(t *testing.T) {
+	p := newPlatform(t)
+	d := registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	payload := scanPayload(t)
+	for i := 0; i < 3; i++ {
+		p.Clock().Advance(2 * simtime.Second)
+		if _, err := p.Trigger("scan", ModeHorse, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gaps := d.Gaps()
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %d, want 2 (first trigger has no predecessor)", len(gaps))
+	}
+	for _, g := range gaps {
+		// Each gap is the 2s advance plus the previous pipeline's time.
+		if g < 2*simtime.Second || g > 2*simtime.Second+simtime.Millisecond {
+			t.Fatalf("gap = %v, want ≈2s", g)
+		}
+	}
+}
+
+func TestGapHistoryBounded(t *testing.T) {
+	p := newPlatform(t)
+	d := registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	payload := scanPayload(t)
+	for i := 0; i < gapHistoryCap+20; i++ {
+		p.Clock().Advance(simtime.Second)
+		if _, err := p.Trigger("scan", ModeHorse, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(d.Gaps()); got != gapHistoryCap {
+		t.Fatalf("gap history = %d, want capped at %d", got, gapHistoryCap)
+	}
+}
+
+func TestHybridPolicyDrivesReaper(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.Register(workload.NewScan(1), SandboxSpec{
+		VCPUs:    1,
+		MemoryMB: 128,
+		KeepAlivePolicy: HybridKeepAlive{
+			Percentile: 99, Margin: 1.0,
+			Min: simtime.Second, Max: 30 * simtime.Second,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	payload := scanPayload(t)
+	// Build a history of ~2s gaps: the hybrid window converges to ≈2s.
+	for i := 0; i < 10; i++ {
+		p.Clock().Advance(2 * simtime.Second)
+		if _, err := p.Trigger("scan", ModeHorse, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idle just past the learned window: reaped. (A fixed default window
+	// of 10 minutes would have kept it.)
+	p.Clock().Advance(3 * simtime.Second)
+	n, err := p.Reap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reaped = %d, want 1 (hybrid window ≈2s elapsed)", n)
+	}
+}

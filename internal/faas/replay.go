@@ -1,0 +1,95 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/metrics"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trace"
+)
+
+// PayloadFunc supplies the trigger payload for a function named in a
+// trace. Returning an error aborts the replay.
+type PayloadFunc func(function string) ([]byte, error)
+
+// ReplayReport summarizes one trace replay.
+type ReplayReport struct {
+	// Mode is the start mode every trigger used.
+	Mode StartMode
+	// Invocations is the number of triggers fired.
+	Invocations int
+	// Skipped counts arrivals for functions not registered on the
+	// platform (real traces name thousands of functions; replays
+	// typically deploy a few).
+	Skipped int
+	// Init, Exec and Latency summarize per-invocation timings; Latency
+	// includes the queueing delay behind earlier triggers on the
+	// platform's serial dispatch path.
+	Init    metrics.Summary
+	Exec    metrics.Summary
+	Latency metrics.Summary
+}
+
+// ErrEmptyReplay is returned when no arrival matched a deployed function.
+var ErrEmptyReplay = errors.New("faas: replay matched no deployed function")
+
+// Replay fires the trace arrivals against the platform in virtual time,
+// in arrival order, under one start mode. The platform's dispatch path is
+// serial — a trigger that arrives while an earlier one still executes
+// waits, and its measured latency includes that wait — which mirrors the
+// paper's single-node trigger setup (§2: "we trigger the uLL workload on
+// the same server node where it will run").
+//
+// Arrivals for unregistered functions are counted and skipped. For warm
+// and HORSE modes the deployments must hold provisioned sandboxes; use
+// EnsureWarm between bursts or provision enough ahead of time.
+func (p *Platform) Replay(arrivals []trace.Arrival, mode StartMode, payloads PayloadFunc) (ReplayReport, error) {
+	if payloads == nil {
+		return ReplayReport{}, errors.New("faas: nil payload function")
+	}
+	report := ReplayReport{Mode: mode}
+	var (
+		inits     = metrics.NewSeries(len(arrivals))
+		execs     = metrics.NewSeries(len(arrivals))
+		latencies = metrics.NewSeries(len(arrivals))
+	)
+	base := p.clock.Now()
+	for _, a := range arrivals {
+		if _, err := p.Deployment(a.Function); err != nil {
+			report.Skipped++
+			continue
+		}
+		arrivalAt := base.Add(simtime.Duration(a.At))
+		if p.clock.Now().Before(arrivalAt) {
+			// The dispatcher is idle until this arrival.
+			p.clock.AdvanceTo(arrivalAt)
+		}
+		payload, err := payloads(a.Function)
+		if err != nil {
+			return ReplayReport{}, fmt.Errorf("faas: replay payload for %q: %w", a.Function, err)
+		}
+		inv, err := p.Trigger(a.Function, mode, payload)
+		if err != nil {
+			return ReplayReport{}, fmt.Errorf("faas: replay trigger %q at %v: %w", a.Function, a.At, err)
+		}
+		report.Invocations++
+		inits.Record(inv.Init)
+		execs.Record(inv.Exec)
+		latencies.Record(p.clock.Now().Sub(arrivalAt))
+	}
+	if report.Invocations == 0 {
+		return ReplayReport{}, ErrEmptyReplay
+	}
+	var err error
+	if report.Init, err = inits.Summarize(); err != nil {
+		return ReplayReport{}, err
+	}
+	if report.Exec, err = execs.Summarize(); err != nil {
+		return ReplayReport{}, err
+	}
+	if report.Latency, err = latencies.Summarize(); err != nil {
+		return ReplayReport{}, err
+	}
+	return report, nil
+}

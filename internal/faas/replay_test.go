@@ -1,0 +1,146 @@
+package faas
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trace"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+func scanPayloads(t *testing.T) PayloadFunc {
+	t.Helper()
+	payload := scanPayload(t)
+	return func(string) ([]byte, error) { return payload, nil }
+}
+
+func replayArrivals(ats ...simtime.Time) []trace.Arrival {
+	out := make([]trace.Arrival, 0, len(ats))
+	for _, at := range ats {
+		out = append(out, trace.Arrival{At: at, Function: "scan"})
+	}
+	return out
+}
+
+func TestReplayHorseMode(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	arrivals := replayArrivals(0, simtime.Time(10*simtime.Microsecond), simtime.Time(20*simtime.Microsecond))
+	report, err := p.Replay(arrivals, ModeHorse, scanPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Invocations != 3 || report.Skipped != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Init.Max != 150*simtime.Nanosecond {
+		t.Fatalf("init max = %v, want 150ns", report.Init.Max)
+	}
+	if report.Exec.Mean != 700*simtime.Nanosecond {
+		t.Fatalf("exec mean = %v", report.Exec.Mean)
+	}
+	// Arrivals are 10µs apart and the pipeline is ~1µs: no queueing, so
+	// latency ≈ init + exec + pool re-pause.
+	if report.Latency.Max > 2*simtime.Microsecond {
+		t.Fatalf("latency max = %v, want ~1µs (no queueing)", report.Latency.Max)
+	}
+}
+
+func TestReplayQueueingUnderBurst(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	// Three simultaneous arrivals: the dispatch path is serial, so the
+	// third waits for two full pipelines.
+	report, err := p.Replay(replayArrivals(0, 0, 0), ModeHorse, scanPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Latency.Max <= 2*report.Latency.Min {
+		t.Fatalf("burst latency max %v vs min %v: no queueing visible",
+			report.Latency.Max, report.Latency.Min)
+	}
+}
+
+func TestReplaySkipsUnknownFunctions(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []trace.Arrival{
+		{At: 0, Function: "scan"},
+		{At: 1, Function: "unknown"},
+		{At: 2, Function: "scan"},
+	}
+	report, err := p.Replay(arrivals, ModeHorse, scanPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Invocations != 2 || report.Skipped != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	p := newPlatform(t)
+	registerScan(t, p)
+	if _, err := p.Replay(replayArrivals(0), ModeHorse, nil); err == nil {
+		t.Fatal("nil payload func accepted")
+	}
+	only := []trace.Arrival{{At: 0, Function: "ghost"}}
+	if _, err := p.Replay(only, ModeHorse, scanPayloads(t)); !errors.Is(err, ErrEmptyReplay) {
+		t.Fatalf("err = %v, want ErrEmptyReplay", err)
+	}
+	// Horse mode without provisioning fails mid-replay.
+	if _, err := p.Replay(replayArrivals(0), ModeHorse, scanPayloads(t)); err == nil {
+		t.Fatal("replay without pool accepted")
+	}
+	badPayload := func(string) ([]byte, error) { return nil, errors.New("boom") }
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Replay(replayArrivals(0), ModeHorse, badPayload); err == nil {
+		t.Fatal("payload error not propagated")
+	}
+}
+
+func TestReplaySyntheticTraceEndToEnd(t *testing.T) {
+	p := newPlatform(t)
+	// Deploy under the trace's function naming.
+	fn := workload.NewScan(4)
+	tr := trace.Synthesize(trace.SynthConfig{Functions: 1, Minutes: 1, MeanPerMinute: 40, Seed: 2})
+	name := tr.Functions[0].Function
+	if _, err := p.Register(renamed{Function: fn, name: name}, SandboxSpec{VCPUs: 1, MemoryMB: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision(name, 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	arrivals := tr.Arrivals(3)
+	report, err := p.Replay(arrivals, ModeHorse, scanPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Invocations != len(arrivals) {
+		t.Fatalf("invocations = %d, want %d", report.Invocations, len(arrivals))
+	}
+	if report.Init.P99 != 150*simtime.Nanosecond {
+		t.Fatalf("p99 init = %v, want constant 150ns", report.Init.P99)
+	}
+}
+
+// renamed wraps a function under a trace's function name.
+type renamed struct {
+	workload.Function
+	name string
+}
+
+func (r renamed) Name() string { return r.name }

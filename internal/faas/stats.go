@@ -1,0 +1,61 @@
+package faas
+
+import (
+	"github.com/horse-faas/horse/internal/metrics"
+)
+
+// DeploymentStats summarizes a deployment's served invocations.
+type DeploymentStats struct {
+	// Invocations counts completed triggers per start mode.
+	Invocations map[StartMode]uint64
+	// Init summarizes the initialization times across all modes.
+	Init metrics.Summary
+	// Exec summarizes the execution times across all modes.
+	Exec metrics.Summary
+}
+
+// statsRecorder accumulates invocation timings per deployment.
+type statsRecorder struct {
+	byMode map[StartMode]uint64
+	inits  *metrics.Series
+	execs  *metrics.Series
+}
+
+func newStatsRecorder() *statsRecorder {
+	return &statsRecorder{
+		byMode: make(map[StartMode]uint64),
+		inits:  metrics.NewSeries(0),
+		execs:  metrics.NewSeries(0),
+	}
+}
+
+func (r *statsRecorder) record(inv Invocation) {
+	r.byMode[inv.Mode]++
+	r.inits.Record(inv.Init)
+	r.execs.Record(inv.Exec)
+}
+
+// Stats returns the deployment's invocation statistics. The summaries
+// are zero-valued until the first completed trigger.
+func (p *Platform) Stats(name string) (DeploymentStats, error) {
+	d, err := p.Deployment(name)
+	if err != nil {
+		return DeploymentStats{}, err
+	}
+	out := DeploymentStats{Invocations: make(map[StartMode]uint64)}
+	if d.stats == nil {
+		return out, nil
+	}
+	for m, c := range d.stats.byMode {
+		out.Invocations[m] = c
+	}
+	if d.stats.inits.Len() > 0 {
+		if out.Init, err = d.stats.inits.Summarize(); err != nil {
+			return DeploymentStats{}, err
+		}
+		if out.Exec, err = d.stats.execs.Summarize(); err != nil {
+			return DeploymentStats{}, err
+		}
+	}
+	return out, nil
+}

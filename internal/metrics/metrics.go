@@ -1,0 +1,287 @@
+// Package metrics provides the statistics used by every experiment
+// harness: exact percentiles over recorded samples, mean with a 95%
+// confidence interval (the paper repeats each experiment 10× and reports
+// CIs <= 3%), and fixed-width histograms for streaming summaries.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// ErrNoSamples is returned by statistics that need at least one sample.
+var ErrNoSamples = errors.New("metrics: no samples recorded")
+
+// Series collects duration samples and answers order statistics exactly.
+// The experiments record at most a few hundred thousand samples, so exact
+// sorting beats sketch data structures in both simplicity and fidelity.
+type Series struct {
+	samples []simtime.Duration
+	sorted  bool
+}
+
+// NewSeries returns an empty series, optionally pre-sized.
+func NewSeries(capacity int) *Series {
+	return &Series{samples: make([]simtime.Duration, 0, capacity)}
+}
+
+// Record appends one sample.
+func (s *Series) Record(d simtime.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Sum returns the total of all samples.
+func (s *Series) Sum() simtime.Duration {
+	var sum simtime.Duration
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() (simtime.Duration, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	return simtime.Duration(int64(s.Sum()) / int64(len(s.samples))), nil
+}
+
+// Min returns the smallest sample.
+func (s *Series) Min() (simtime.Duration, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	s.ensureSorted()
+	return s.samples[0], nil
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() (simtime.Duration, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1], nil
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, the convention of the tail-latency literature the
+// paper cites.
+func (s *Series) Percentile(p float64) (simtime.Duration, error) {
+	if len(s.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if p <= 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %v out of (0,100]", p)
+	}
+	s.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.samples[rank-1], nil
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Series) Stddev() (simtime.Duration, error) {
+	if len(s.samples) < 2 {
+		return 0, ErrNoSamples
+	}
+	mean, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	var acc float64
+	for _, v := range s.samples {
+		d := float64(v - mean)
+		acc += d * d
+	}
+	return simtime.Duration(math.Sqrt(acc / float64(len(s.samples)-1))), nil
+}
+
+// ensureSorted sorts the sample buffer once per mutation epoch.
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Summary is a one-shot digest of a series.
+type Summary struct {
+	Count int
+	Mean  simtime.Duration
+	Min   simtime.Duration
+	Max   simtime.Duration
+	P50   simtime.Duration
+	P95   simtime.Duration
+	P99   simtime.Duration
+}
+
+// Summarize digests the series.
+func (s *Series) Summarize() (Summary, error) {
+	if len(s.samples) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	mean, _ := s.Mean()
+	minV, _ := s.Min()
+	maxV, _ := s.Max()
+	p50, _ := s.Percentile(50)
+	p95, _ := s.Percentile(95)
+	p99, _ := s.Percentile(99)
+	return Summary{
+		Count: len(s.samples),
+		Mean:  mean,
+		Min:   minV,
+		Max:   maxV,
+		P50:   p50,
+		P95:   p95,
+		P99:   p99,
+	}, nil
+}
+
+// MeanCI95 is a mean with its 95% confidence half-width.
+type MeanCI95 struct {
+	Mean      float64
+	HalfWidth float64
+}
+
+// RelativeWidth returns the half-width as a fraction of the mean
+// (the paper targets <= 3%); it is +Inf for a zero mean with nonzero
+// half-width and 0 when both are zero.
+func (m MeanCI95) RelativeWidth() float64 {
+	if m.Mean == 0 {
+		if m.HalfWidth == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(m.HalfWidth / m.Mean)
+}
+
+// tTable holds two-sided 97.5% t-quantiles for small degrees of freedom;
+// beyond 30 the normal approximation 1.96 is used.
+var tTable = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+func tQuantile(df int) float64 {
+	if v, ok := tTable[df]; ok {
+		return v
+	}
+	if df > 30 {
+		return 1.96
+	}
+	// Fall back to the next tabulated value below.
+	best := 12.706
+	for k, v := range tTable {
+		if k <= df && v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CI95 computes the mean and 95% confidence half-width of raw repeated
+// measurements (Student's t).
+func CI95(values []float64) (MeanCI95, error) {
+	n := len(values)
+	if n == 0 {
+		return MeanCI95{}, ErrNoSamples
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return MeanCI95{Mean: mean}, nil
+	}
+	var acc float64
+	for _, v := range values {
+		d := v - mean
+		acc += d * d
+	}
+	sd := math.Sqrt(acc / float64(n-1))
+	half := tQuantile(n-1) * sd / math.Sqrt(float64(n))
+	return MeanCI95{Mean: mean, HalfWidth: half}, nil
+}
+
+// Histogram is a fixed-width bucket histogram over durations, used for
+// streaming displays in the CLI tools.
+type Histogram struct {
+	bucketWidth simtime.Duration
+	counts      []uint64
+	overflow    uint64
+	total       uint64
+}
+
+// NewHistogram builds a histogram with the given bucket width and count.
+func NewHistogram(bucketWidth simtime.Duration, buckets int) (*Histogram, error) {
+	if bucketWidth <= 0 || buckets <= 0 {
+		return nil, fmt.Errorf("metrics: invalid histogram shape width=%v buckets=%d", bucketWidth, buckets)
+	}
+	return &Histogram{
+		bucketWidth: bucketWidth,
+		counts:      make([]uint64, buckets),
+	}, nil
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d simtime.Duration) {
+	h.total++
+	if d < 0 {
+		d = 0
+	}
+	idx := int(d / h.bucketWidth)
+	if idx >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Overflow returns observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1) from
+// the bucket boundaries.
+func (h *Histogram) Quantile(q float64) (simtime.Duration, error) {
+	if h.total == 0 {
+		return 0, ErrNoSamples
+	}
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %v out of (0,1]", q)
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return simtime.Duration(i+1) * h.bucketWidth, nil
+		}
+	}
+	return simtime.Duration(len(h.counts)) * h.bucketWidth, nil
+}

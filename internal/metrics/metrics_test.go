@@ -1,0 +1,323 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func seriesOf(vals ...simtime.Duration) *Series {
+	s := NewSeries(len(vals))
+	for _, v := range vals {
+		s.Record(v)
+	}
+	return s
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(0)
+	if _, err := s.Mean(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("Mean err = %v", err)
+	}
+	if _, err := s.Min(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("Min err = %v", err)
+	}
+	if _, err := s.Max(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("Max err = %v", err)
+	}
+	if _, err := s.Percentile(50); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("Percentile err = %v", err)
+	}
+	if _, err := s.Summarize(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("Summarize err = %v", err)
+	}
+}
+
+func TestSeriesBasicStats(t *testing.T) {
+	s := seriesOf(10, 20, 30, 40)
+	if got, _ := s.Mean(); got != 25 {
+		t.Fatalf("Mean = %v, want 25", got)
+	}
+	if got, _ := s.Min(); got != 10 {
+		t.Fatalf("Min = %v, want 10", got)
+	}
+	if got, _ := s.Max(); got != 40 {
+		t.Fatalf("Max = %v, want 40", got)
+	}
+	if got := s.Sum(); got != 100 {
+		t.Fatalf("Sum = %v, want 100", got)
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestSeriesPercentileNearestRank(t *testing.T) {
+	// 1..100: nearest-rank pX is exactly X.
+	s := NewSeries(100)
+	for i := 100; i >= 1; i-- {
+		s.Record(simtime.Duration(i))
+	}
+	tests := []struct {
+		p    float64
+		want simtime.Duration
+	}{
+		{p: 50, want: 50},
+		{p: 95, want: 95},
+		{p: 99, want: 99},
+		{p: 100, want: 100},
+		{p: 1, want: 1},
+		{p: 0.5, want: 1},
+	}
+	for _, tt := range tests {
+		got, err := s.Percentile(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Fatalf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := s.Percentile(0); err == nil {
+		t.Fatal("P0 accepted")
+	}
+	if _, err := s.Percentile(101); err == nil {
+		t.Fatal("P101 accepted")
+	}
+}
+
+func TestSeriesRecordAfterSortedQuery(t *testing.T) {
+	s := seriesOf(5, 1)
+	if got, _ := s.Min(); got != 1 {
+		t.Fatalf("Min = %v", got)
+	}
+	s.Record(0) // invalidates sort
+	if got, _ := s.Min(); got != 0 {
+		t.Fatalf("Min after Record = %v, want 0", got)
+	}
+}
+
+func TestSeriesStddev(t *testing.T) {
+	s := seriesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	got, err := s.Stddev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got < 2 || got > 3 {
+		t.Fatalf("Stddev = %v, want ≈2.14", got)
+	}
+	if _, err := seriesOf(1).Stddev(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("single-sample Stddev err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewSeries(0)
+	for i := 1; i <= 1000; i++ {
+		s.Record(simtime.Duration(i))
+	}
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count != 1000 || sum.Min != 1 || sum.Max != 1000 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 != 500 || sum.P95 != 950 || sum.P99 != 990 {
+		t.Fatalf("percentiles = %+v", sum)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if _, err := CI95(nil); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+	one, err := CI95([]float64{42})
+	if err != nil || one.Mean != 42 || one.HalfWidth != 0 {
+		t.Fatalf("single CI = %+v, %v", one, err)
+	}
+	// Ten identical values: zero-width interval.
+	same := make([]float64, 10)
+	for i := range same {
+		same[i] = 7
+	}
+	ci, err := CI95(same)
+	if err != nil || ci.Mean != 7 || ci.HalfWidth != 0 {
+		t.Fatalf("identical CI = %+v, %v", ci, err)
+	}
+	if ci.RelativeWidth() != 0 {
+		t.Fatalf("RelativeWidth = %v, want 0", ci.RelativeWidth())
+	}
+	// Known case: n=10, df=9, t=2.262.
+	vals := []float64{10, 12, 9, 11, 10, 10, 11, 9, 10, 8}
+	ci, err = CI95(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != 10 {
+		t.Fatalf("Mean = %v, want 10", ci.Mean)
+	}
+	if ci.HalfWidth <= 0 || ci.RelativeWidth() > 0.1 {
+		t.Fatalf("CI = %+v", ci)
+	}
+}
+
+func TestCI95ZeroMeanNonzeroSpread(t *testing.T) {
+	ci, err := CI95([]float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ci.RelativeWidth(), 1) {
+		t.Fatalf("RelativeWidth = %v, want +Inf", ci.RelativeWidth())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []simtime.Duration{0, 5, 15, 44, 49, 100, -3} {
+		h.Observe(d)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1 (the 100)", h.Overflow())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, clamped -3
+		t.Fatalf("Bucket(0) = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(4) != 2 {
+		t.Fatalf("buckets = [%d %d %d %d %d]", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3), h.Bucket(4))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range bucket not zero")
+	}
+	q, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 20 { // 4th of 7 observations falls in bucket 1 → bound 20
+		t.Fatalf("Quantile(0.5) = %v, want 20", q)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 5); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewHistogram(10, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+	h, _ := NewHistogram(10, 2)
+	if _, err := h.Quantile(0.5); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("empty Quantile err = %v", err)
+	}
+	h.Observe(1)
+	if _, err := h.Quantile(0); err == nil {
+		t.Fatal("Quantile(0) accepted")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Fatal("Quantile(1.1) accepted")
+	}
+}
+
+// Property: Series.Percentile agrees with a direct sort-based oracle for
+// random data and random percentiles.
+func TestPercentileOracleProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%100) + 1 // [1,100]
+		s := NewSeries(len(raw))
+		oracle := make([]simtime.Duration, len(raw))
+		for i, r := range raw {
+			d := simtime.Duration(r)
+			s.Record(d)
+			oracle[i] = d
+		}
+		sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+		rank := int(math.Ceil(p / 100 * float64(len(oracle))))
+		got, err := s.Percentile(p)
+		if err != nil {
+			return false
+		}
+		return got == oracle[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram quantile is an upper bound on the exact quantile.
+func TestHistogramQuantileUpperBoundProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(4, 64)
+		if err != nil {
+			return false
+		}
+		s := NewSeries(len(raw))
+		for _, r := range raw {
+			d := simtime.Duration(r)
+			h.Observe(d)
+			s.Record(d)
+		}
+		q := 0.01 + 0.99*rng.Float64()
+		hq, err := h.Quantile(q)
+		if err != nil {
+			return false
+		}
+		exact, err := s.Percentile(q * 100)
+		if err != nil {
+			return false
+		}
+		return hq >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileRegimes(t *testing.T) {
+	// df in the table, df requiring the next-lower tabulated value, and
+	// the large-sample normal approximation.
+	mk := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i % 5)
+		}
+		return out
+	}
+	small, err := CI95(mk(11)) // df=10, tabulated 2.228
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := CI95(mk(13)) // df=12, falls back to df=10's quantile
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CI95(mk(100)) // df=99 → 1.96
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.HalfWidth <= 0 || mid.HalfWidth <= 0 || large.HalfWidth <= 0 {
+		t.Fatalf("half widths: %v %v %v", small.HalfWidth, mid.HalfWidth, large.HalfWidth)
+	}
+	// Wider interval for fewer samples (same underlying distribution).
+	if !(small.HalfWidth > large.HalfWidth) {
+		t.Fatalf("CI did not shrink with samples: %v vs %v", small.HalfWidth, large.HalfWidth)
+	}
+}

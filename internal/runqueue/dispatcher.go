@@ -1,0 +1,118 @@
+package runqueue
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Slice records one scheduling quantum executed by the dispatcher.
+type Slice struct {
+	// EntityID is the entity that ran.
+	EntityID string
+	// Start is when the quantum began.
+	Start simtime.Time
+	// Ran is how long the entity ran (<= the queue's timeslice).
+	Ran simtime.Duration
+	// Completed reports whether the entity finished its work in this
+	// quantum.
+	Completed bool
+}
+
+// ErrUnknownWork is returned when a queued entity has no work entry.
+var ErrUnknownWork = errors.New("runqueue: queued entity has no work remaining entry")
+
+// maxSlices bounds a dispatch loop against zero-length timeslices or
+// bookkeeping bugs.
+const maxSlices = 1 << 20
+
+// Dispatch drains the queue under its timeslice discipline: the
+// least-credit entity runs for min(timeslice, remaining work); if work
+// remains it re-enters the queue with its credit reduced by the time it
+// ran (credit2-style burn), otherwise it leaves. The returned slices are
+// the complete execution trace.
+//
+// On a reserved ull_runqueue the timeslice is 1 µs: "since this run queue
+// is reserved for running uLL sandboxes, 1 µs provides every workload
+// with enough CPU time to terminate its execution as soon as possible"
+// (§4.1.3) — so Category-2/3 workloads finish in a single quantum while a
+// Category-1 workload (≤ 20 µs) round-robins fairly with its neighbours.
+//
+// work maps entity ID to remaining execution demand; every queued entity
+// must have an entry. The map is consumed.
+func Dispatch(clock *simtime.Clock, q *Queue, work map[string]simtime.Duration) ([]Slice, error) {
+	if clock == nil {
+		return nil, errors.New("runqueue: nil clock")
+	}
+	for id, d := range work {
+		if d < 0 {
+			return nil, fmt.Errorf("runqueue: negative work %v for %q", d, id)
+		}
+	}
+	var slices []Slice
+	for q.Len() > 0 {
+		if len(slices) >= maxSlices {
+			return nil, fmt.Errorf("runqueue: dispatch exceeded %d slices", maxSlices)
+		}
+		ent := q.PopFront()
+		remaining, ok := work[ent.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownWork, ent.ID)
+		}
+		ran := q.Timeslice()
+		completed := false
+		if remaining <= ran {
+			ran = remaining
+			completed = true
+		}
+		slice := Slice{EntityID: ent.ID, Start: clock.Now(), Ran: ran, Completed: completed}
+		clock.Advance(ran)
+		slices = append(slices, slice)
+		if completed {
+			delete(work, ent.ID)
+			continue
+		}
+		work[ent.ID] = remaining - ran
+		// Age the entity by the quantum it consumed. Under the queue's
+		// least-first sort order (§3.1: "least remaining credit first"),
+		// aging the runner upward makes contenders that ran less come
+		// first — CFS-vruntime-style rotation, so equal demands
+		// round-robin instead of the runner monopolizing the queue.
+		ent.Credit += int64(ran)
+		if _, _, err := q.Insert(ent); err != nil {
+			return nil, err
+		}
+	}
+	return slices, nil
+}
+
+// SliceStats aggregates a dispatch trace per entity.
+type SliceStats struct {
+	Slices    int
+	Ran       simtime.Duration
+	Completed bool
+	// FirstRun is when the entity first got the CPU; Finished is when it
+	// completed (zero if it never did).
+	FirstRun simtime.Time
+	Finished simtime.Time
+}
+
+// Summarize groups a dispatch trace by entity.
+func Summarize(slices []Slice) map[string]SliceStats {
+	out := make(map[string]SliceStats)
+	for _, s := range slices {
+		st, seen := out[s.EntityID]
+		if !seen {
+			st.FirstRun = s.Start
+		}
+		st.Slices++
+		st.Ran += s.Ran
+		if s.Completed {
+			st.Completed = true
+			st.Finished = s.Start.Add(s.Ran)
+		}
+		out[s.EntityID] = st
+	}
+	return out
+}

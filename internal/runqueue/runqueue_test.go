@@ -1,0 +1,309 @@
+package runqueue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func vcpu(id string, credit int64) *Entity {
+	return &Entity{ID: id, Kind: KindVCPU, Credit: credit, Sandbox: "sb"}
+}
+
+func queueIDs(q *Queue) []string {
+	var out []string
+	for e := q.List().Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value().ID)
+	}
+	return out
+}
+
+func TestNewDefaults(t *testing.T) {
+	q := New(3)
+	if q.ID() != 3 {
+		t.Fatalf("ID = %d, want 3", q.ID())
+	}
+	if q.Reserved() {
+		t.Fatal("default queue should not be reserved")
+	}
+	if q.Timeslice() != DefaultTimeslice {
+		t.Fatalf("Timeslice = %v, want default", q.Timeslice())
+	}
+}
+
+func TestReservedOption(t *testing.T) {
+	q := New(0, Reserved())
+	if !q.Reserved() {
+		t.Fatal("Reserved() not applied")
+	}
+	if q.Timeslice() != ULLTimeslice {
+		t.Fatalf("ull timeslice = %v, want 1µs", q.Timeslice())
+	}
+	// Explicit timeslice wins over the reserved default.
+	q2 := New(0, Reserved(), WithTimeslice(2*simtime.Microsecond))
+	if q2.Timeslice() != 2*simtime.Microsecond {
+		t.Fatalf("override timeslice = %v", q2.Timeslice())
+	}
+}
+
+func TestInsertSortsByCredit(t *testing.T) {
+	q := New(0)
+	for i, c := range []int64{50, 10, 30} {
+		if _, _, err := q.Insert(vcpu(fmt.Sprintf("v%d", i), c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := queueIDs(q)
+	want := []string{"v1", "v2", "v0"} // credits 10, 30, 50
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 3 || q.Inserts() != 3 {
+		t.Fatalf("Len=%d Inserts=%d", q.Len(), q.Inserts())
+	}
+}
+
+func TestInsertNil(t *testing.T) {
+	q := New(0)
+	if _, _, err := q.Insert(nil); err == nil {
+		t.Fatal("nil entity accepted")
+	}
+}
+
+func TestRemoveAndPop(t *testing.T) {
+	q := New(0)
+	e1, _, _ := q.Insert(vcpu("a", 1))
+	q.Insert(vcpu("b", 2))
+	if err := q.Remove(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Remove(e1); !errors.Is(err, ErrNotOnQueue) {
+		t.Fatalf("double remove err = %v, want ErrNotOnQueue", err)
+	}
+	if got := q.Peek(); got == nil || got.ID != "b" {
+		t.Fatalf("Peek = %v, want b", got)
+	}
+	if got := q.PopFront(); got == nil || got.ID != "b" {
+		t.Fatalf("PopFront = %v, want b", got)
+	}
+	if q.PopFront() != nil || q.Peek() != nil {
+		t.Fatal("empty queue returned entity")
+	}
+	if q.Removes() != 2 {
+		t.Fatalf("Removes = %d, want 2", q.Removes())
+	}
+}
+
+func TestPrecomputedStaysCurrentThroughQueueChanges(t *testing.T) {
+	q := New(0, Reserved())
+	q.Insert(vcpu("q1", 10))
+	q.Insert(vcpu("q2", 30))
+
+	p := q.NewPrecomputed()
+	if q.ObserverCount() != 1 {
+		t.Fatalf("observers = %d, want 1", q.ObserverCount())
+	}
+	p.AddSource(15, vcpu("s1", 15))
+	p.AddSource(25, vcpu("s2", 25))
+
+	// The ull_runqueue keeps changing while the sandbox is paused.
+	e, _, err := q.Insert(vcpu("q3", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("precompute stale after insert: %v", err)
+	}
+	if err := q.Remove(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("precompute stale after remove: %v", err)
+	}
+
+	res, err := q.MergePSM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged != 2 {
+		t.Fatalf("Merged = %d, want 2", res.Merged)
+	}
+	got := queueIDs(q)
+	want := []string{"q1", "s1", "s2", "q2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.ObserverCount() != 0 {
+		t.Fatal("merged precompute still observing")
+	}
+}
+
+func TestMergePSMResyncsOtherObservers(t *testing.T) {
+	q := New(0, Reserved())
+	q.Insert(vcpu("q1", 10))
+	q.Insert(vcpu("q2", 40))
+
+	// Two paused sandboxes share the ull_runqueue.
+	pa := q.NewPrecomputed()
+	pb := q.NewPrecomputed()
+	pa.AddSource(20, vcpu("a1", 20))
+	pa.AddSource(30, vcpu("a2", 30))
+	pb.AddSource(25, vcpu("b1", 25))
+
+	if _, err := q.MergePSM(pa); err != nil {
+		t.Fatal(err)
+	}
+	// pb must have been resynced for each element pa spliced in.
+	if err := pb.Validate(); err != nil {
+		t.Fatalf("sibling precompute stale after MergePSM: %v", err)
+	}
+	if _, err := q.MergePSM(pb); err != nil {
+		t.Fatal(err)
+	}
+	got := queueIDs(q)
+	want := []string{"q1", "a1", "b1", "a2", "q2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if !q.List().IsSorted() {
+		t.Fatal("queue unsorted after double merge")
+	}
+}
+
+func TestMergePSMWrongTarget(t *testing.T) {
+	q1 := New(0)
+	q2 := New(1)
+	p := q1.NewPrecomputed()
+	if _, err := q2.MergePSM(p); !errors.Is(err, ErrWrongTarget) {
+		t.Fatalf("err = %v, want ErrWrongTarget", err)
+	}
+}
+
+func TestMergePSMConsumedStateRestoresObserver(t *testing.T) {
+	q := New(0)
+	p := q.NewPrecomputed()
+	p.AddSource(1, vcpu("s", 1))
+	if _, err := q.MergePSM(p); err != nil {
+		t.Fatal(err)
+	}
+	// Second merge with consumed state fails and must not corrupt the
+	// observer list.
+	if _, err := q.MergePSM(p); err == nil {
+		t.Fatal("consumed precompute merged twice")
+	}
+	if q.ObserverCount() != 1 {
+		t.Fatalf("observers = %d, want 1 (restored)", q.ObserverCount())
+	}
+}
+
+func TestUnobserve(t *testing.T) {
+	q := New(0)
+	p := q.NewPrecomputed()
+	q.Unobserve(p)
+	if q.ObserverCount() != 0 {
+		t.Fatal("Unobserve did not remove observer")
+	}
+	q.Unobserve(p) // no-op, must not panic
+}
+
+func TestDrain(t *testing.T) {
+	q := New(0)
+	q.Insert(vcpu("a", 2))
+	q.Insert(vcpu("b", 1))
+	out := q.Drain()
+	if len(out) != 2 || out[0].ID != "b" || out[1].ID != "a" {
+		t.Fatalf("Drain = %v", out)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestEntityKindString(t *testing.T) {
+	tests := []struct {
+		give EntityKind
+		want string
+	}{
+		{give: KindVCPU, want: "vcpu"},
+		{give: KindMergeThread, want: "merge-thread"},
+		{give: KindTask, want: "task"},
+		{give: EntityKind(42), want: "kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+// Property: under random interleavings of queue inserts/removes and
+// paused-sandbox source changes across TWO precomputeds sharing the
+// queue, both stay valid, and merging both yields a sorted queue with
+// exact length accounting.
+func TestSharedQueueMaintenanceProperty(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New(0, Reserved())
+		pa := q.NewPrecomputed()
+		pb := q.NewPrecomputed()
+		var onQueue []*Element
+		for i, op := range ops {
+			credit := int64(rng.Intn(50))
+			switch op % 5 {
+			case 0:
+				e, _, err := q.Insert(vcpu(fmt.Sprintf("q%d", i), credit))
+				if err != nil {
+					return false
+				}
+				onQueue = append(onQueue, e)
+			case 1:
+				if len(onQueue) > 0 {
+					j := rng.Intn(len(onQueue))
+					if q.Remove(onQueue[j]) != nil {
+						return false
+					}
+					onQueue = append(onQueue[:j], onQueue[j+1:]...)
+				}
+			case 2:
+				pa.AddSource(credit, vcpu(fmt.Sprintf("a%d", i), credit))
+			case 3:
+				pb.AddSource(credit, vcpu(fmt.Sprintf("b%d", i), credit))
+			case 4:
+				if q.Len() > 0 {
+					q.PopFront()
+					onQueue = onQueue[:0]
+					for e := q.List().Front(); e != nil; e = e.Next() {
+						onQueue = append(onQueue, e)
+					}
+				}
+			}
+			if pa.Validate() != nil || pb.Validate() != nil {
+				return false
+			}
+		}
+		wantLen := q.Len() + pa.Source().Len() + pb.Source().Len()
+		if _, err := q.MergePSM(pa); err != nil {
+			return false
+		}
+		if pb.Validate() != nil {
+			return false
+		}
+		if _, err := q.MergePSM(pb); err != nil {
+			return false
+		}
+		return q.List().IsSorted() && q.Len() == wantLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the trace parser never panics and that every
+// accepted trace round-trips through WriteCSV byte-identically modulo
+// re-serialization (parse(write(parse(x))) == parse(x)).
+func FuzzParseCSV(f *testing.F) {
+	f.Add(sampleCSV)
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,3\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,f,timer,0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(tr.Functions) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ParseCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(again.Functions) != len(tr.Functions) {
+			t.Fatalf("round trip changed function count: %d vs %d",
+				len(again.Functions), len(tr.Functions))
+		}
+		for i := range tr.Functions {
+			if tr.Functions[i].Total() != again.Functions[i].Total() {
+				t.Fatalf("round trip changed totals for function %d", i)
+			}
+		}
+	})
+}

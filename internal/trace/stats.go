@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes a trace's arrival process — the quantities used to
+// check that a synthetic trace is statistically similar to the Azure
+// dataset's well-known shape (heavy-tailed per-function popularity,
+// bursty minutes).
+type Stats struct {
+	// Functions is the number of function rows.
+	Functions int
+	// Minutes is the trace length.
+	Minutes int
+	// Total is the total invocation count.
+	Total int
+	// MeanPerMinute is the mean invocations per function-minute.
+	MeanPerMinute float64
+	// PeakMinute is the busiest minute's total across functions.
+	PeakMinute int
+	// PeakToMean is the burstiness ratio: peak minute vs mean minute.
+	PeakToMean float64
+	// CV is the coefficient of variation of per-function totals — the
+	// popularity skew (the Azure dataset's is famously > 1).
+	CV float64
+	// TopShare is the fraction of invocations owned by the most popular
+	// 10% of functions (at least one).
+	TopShare float64
+}
+
+// ComputeStats derives the summary. It returns an error for an empty or
+// ragged trace.
+func ComputeStats(t *Trace) (Stats, error) {
+	if len(t.Functions) == 0 {
+		return Stats{}, fmt.Errorf("%w: no functions", ErrBadTrace)
+	}
+	minutes := len(t.Functions[0].PerMinute)
+	if minutes == 0 {
+		return Stats{}, fmt.Errorf("%w: no minutes", ErrBadTrace)
+	}
+	s := Stats{Functions: len(t.Functions), Minutes: minutes}
+
+	totals := make([]int, 0, len(t.Functions))
+	perMinute := make([]int, minutes)
+	for _, f := range t.Functions {
+		if len(f.PerMinute) != minutes {
+			return Stats{}, fmt.Errorf("%w: ragged function %q", ErrBadTrace, f.Function)
+		}
+		total := 0
+		for m, c := range f.PerMinute {
+			total += c
+			perMinute[m] += c
+		}
+		totals = append(totals, total)
+		s.Total += total
+	}
+	s.MeanPerMinute = float64(s.Total) / float64(len(t.Functions)*minutes)
+	for _, c := range perMinute {
+		if c > s.PeakMinute {
+			s.PeakMinute = c
+		}
+	}
+	if meanMinute := float64(s.Total) / float64(minutes); meanMinute > 0 {
+		s.PeakToMean = float64(s.PeakMinute) / meanMinute
+	}
+
+	// Popularity skew across functions.
+	mean := float64(s.Total) / float64(len(totals))
+	if mean > 0 {
+		var acc float64
+		for _, v := range totals {
+			d := float64(v) - mean
+			acc += d * d
+		}
+		s.CV = math.Sqrt(acc/float64(len(totals))) / mean
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(totals)))
+	top := len(totals) / 10
+	if top < 1 {
+		top = 1
+	}
+	topSum := 0
+	for _, v := range totals[:top] {
+		topSum += v
+	}
+	if s.Total > 0 {
+		s.TopShare = float64(topSum) / float64(s.Total)
+	}
+	return s, nil
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestComputeStatsKnownTrace(t *testing.T) {
+	tr := &Trace{Functions: []FunctionTrace{
+		{Function: "hot", PerMinute: []int{10, 20, 30}},
+		{Function: "cold", PerMinute: []int{0, 1, 2}},
+	}}
+	s, err := ComputeStats(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Functions != 2 || s.Minutes != 3 || s.Total != 63 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.PeakMinute != 32 { // minute 3: 30+2
+		t.Fatalf("PeakMinute = %d, want 32", s.PeakMinute)
+	}
+	if s.MeanPerMinute != 10.5 {
+		t.Fatalf("MeanPerMinute = %v, want 10.5", s.MeanPerMinute)
+	}
+	wantPeakToMean := 32.0 / 21.0
+	if diff := s.PeakToMean - wantPeakToMean; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("PeakToMean = %v, want %v", s.PeakToMean, wantPeakToMean)
+	}
+	// Top 10% of 2 functions = 1 function = "hot" with 60 of 63.
+	if s.TopShare < 0.95 || s.TopShare > 0.96 {
+		t.Fatalf("TopShare = %v, want 60/63", s.TopShare)
+	}
+	if s.CV <= 0 {
+		t.Fatalf("CV = %v, want > 0", s.CV)
+	}
+}
+
+func TestComputeStatsErrors(t *testing.T) {
+	if _, err := ComputeStats(&Trace{}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty trace err = %v", err)
+	}
+	ragged := &Trace{Functions: []FunctionTrace{
+		{Function: "a", PerMinute: []int{1, 2}},
+		{Function: "b", PerMinute: []int{1}},
+	}}
+	if _, err := ComputeStats(ragged); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("ragged trace err = %v", err)
+	}
+	empty := &Trace{Functions: []FunctionTrace{{Function: "a"}}}
+	if _, err := ComputeStats(empty); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("zero-minute trace err = %v", err)
+	}
+}
+
+func TestSyntheticTraceIsHeavyTailed(t *testing.T) {
+	// The generator must reproduce the Azure dataset's popularity skew:
+	// a large CV and a dominant top decile.
+	tr := Synthesize(SynthConfig{Functions: 100, Minutes: 30, Seed: 3})
+	s, err := ComputeStats(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CV < 1 {
+		t.Fatalf("CV = %v, want heavy-tailed (> 1)", s.CV)
+	}
+	if s.TopShare < 0.4 {
+		t.Fatalf("TopShare = %v, want top decile owning >= 40%%", s.TopShare)
+	}
+	if s.PeakToMean <= 1 {
+		t.Fatalf("PeakToMean = %v, want bursty (> 1)", s.PeakToMean)
+	}
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+const sampleCSV = `HashOwner,HashApp,HashFunction,Trigger,1,2,3
+o1,a1,f1,http,5,0,2
+o1,a1,f2,timer,0,1,0
+`
+
+func TestParseCSV(t *testing.T) {
+	tr, err := ParseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Functions) != 2 {
+		t.Fatalf("functions = %d, want 2", len(tr.Functions))
+	}
+	f1 := tr.Functions[0]
+	if f1.Owner != "o1" || f1.Function != "f1" || f1.Trigger != "http" {
+		t.Fatalf("f1 = %+v", f1)
+	}
+	if f1.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", f1.Total())
+	}
+	if len(f1.PerMinute) != 3 || f1.PerMinute[2] != 2 {
+		t.Fatalf("PerMinute = %v", f1.PerMinute)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "short-header", give: "a,b,c\n"},
+		{name: "ragged-row", give: "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http\n"},
+		{name: "negative-count", give: "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-3\n"},
+		{name: "non-numeric", give: "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,xyz\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCSV(strings.NewReader(tt.give)); !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("err = %v, want ErrBadTrace", err)
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := Synthesize(SynthConfig{Functions: 4, Minutes: 5, Seed: 11})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Functions) != len(orig.Functions) {
+		t.Fatalf("round trip lost functions: %d vs %d", len(parsed.Functions), len(orig.Functions))
+	}
+	for i := range orig.Functions {
+		a, b := orig.Functions[i], parsed.Functions[i]
+		if a.Function != b.Function || a.Total() != b.Total() {
+			t.Fatalf("function %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, &Trace{}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(SynthConfig{Seed: 5})
+	b := Synthesize(SynthConfig{Seed: 5})
+	if len(a.Functions) != len(b.Functions) {
+		t.Fatal("same seed, different function counts")
+	}
+	for i := range a.Functions {
+		for m := range a.Functions[i].PerMinute {
+			if a.Functions[i].PerMinute[m] != b.Functions[i].PerMinute[m] {
+				t.Fatal("same seed, different counts")
+			}
+		}
+	}
+	c := Synthesize(SynthConfig{Seed: 6})
+	same := true
+	for i := range a.Functions {
+		for m := range a.Functions[i].PerMinute {
+			if a.Functions[i].PerMinute[m] != c.Functions[i].PerMinute[m] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	tr := Synthesize(SynthConfig{Seed: 1})
+	if len(tr.Functions) != 10 {
+		t.Fatalf("default functions = %d, want 10", len(tr.Functions))
+	}
+	if len(tr.Functions[0].PerMinute) != 30 {
+		t.Fatalf("default minutes = %d, want 30", len(tr.Functions[0].PerMinute))
+	}
+	total := 0
+	for _, f := range tr.Functions {
+		total += f.Total()
+	}
+	if total == 0 {
+		t.Fatal("synthetic trace has no invocations")
+	}
+}
+
+func TestArrivalsMatchCountsAndOrder(t *testing.T) {
+	tr := Synthesize(SynthConfig{Functions: 3, Minutes: 4, Seed: 9})
+	arr := tr.Arrivals(1)
+	want := 0
+	for _, f := range tr.Functions {
+		want += f.Total()
+	}
+	if len(arr) != want {
+		t.Fatalf("arrivals = %d, want %d", len(arr), want)
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].At < arr[j].At }) {
+		t.Fatal("arrivals not time-sorted")
+	}
+	horizon := simtime.Time(4 * 60 * simtime.Second)
+	for _, a := range arr {
+		if a.At < 0 || a.At >= horizon {
+			t.Fatalf("arrival %v outside trace horizon", a.At)
+		}
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	tr := Synthesize(SynthConfig{Functions: 2, Minutes: 2, Seed: 3})
+	a := tr.Arrivals(7)
+	b := tr.Arrivals(7)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different arrivals")
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	arr := []Arrival{
+		{At: 10 * simtime.Time(simtime.Second), Function: "a"},
+		{At: 35 * simtime.Time(simtime.Second), Function: "b"},
+		{At: 65 * simtime.Time(simtime.Second), Function: "c"},
+	}
+	w := Window(arr, 30*simtime.Time(simtime.Second), 30*simtime.Second)
+	if len(w) != 1 || w[0].Function != "b" {
+		t.Fatalf("window = %v", w)
+	}
+	// Rebased to the window start.
+	if w[0].At != 5*simtime.Time(simtime.Second) {
+		t.Fatalf("rebased at = %v, want 5s", w[0].At)
+	}
+}
+
+func TestWindowBoundaries(t *testing.T) {
+	arr := []Arrival{
+		{At: 0, Function: "start"},
+		{At: simtime.Time(30 * simtime.Second), Function: "end"},
+	}
+	w := Window(arr, 0, 30*simtime.Second)
+	if len(w) != 1 || w[0].Function != "start" {
+		t.Fatalf("window = %v, want half-open [0,30s)", w)
+	}
+}
+
+// Property: every minute's arrival count matches the trace's per-minute
+// count exactly.
+func TestArrivalsPerMinuteProperty(t *testing.T) {
+	f := func(seed int64, fnRaw, minRaw uint8) bool {
+		cfg := SynthConfig{
+			Functions: int(fnRaw%4) + 1,
+			Minutes:   int(minRaw%5) + 1,
+			Seed:      seed,
+		}
+		tr := Synthesize(cfg)
+		arr := tr.Arrivals(seed + 1)
+		got := make(map[string][]int)
+		for _, f := range tr.Functions {
+			got[f.Function] = make([]int, cfg.Minutes)
+		}
+		for _, a := range arr {
+			m := int(a.At / simtime.Time(60*simtime.Second))
+			if m < 0 || m >= cfg.Minutes {
+				return false
+			}
+			got[a.Function][m]++
+		}
+		for _, f := range tr.Functions {
+			for m := range f.PerMinute {
+				if got[f.Function][m] != f.PerMinute[m] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package vmm
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/credit2"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+func TestPauseBurnsCreditForRuntime(t *testing.T) {
+	h := newHypervisor(t)
+	sb, err := h.CreateSandbox(Config{VCPUs: 2, MemoryMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.ResumedAt() != h.Clock().Now() {
+		t.Fatal("fresh sandbox ResumedAt not set")
+	}
+	h.Clock().Advance(3 * simtime.Millisecond)
+	if _, err := h.Pause(sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sb.VCPUs() {
+		// Pause itself advances the clock slightly (per-vCPU removal
+		// costs), so the burn is at least the 3ms runnable span.
+		burnedCredit := credit2.CreditInit - v.Credit
+		if burnedCredit < int64(3*simtime.Millisecond) {
+			t.Fatalf("%s burned %d, want >= 3ms worth", v.ID, burnedCredit)
+		}
+		ledgerCredit, err := h.Ledger().CreditOf(v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ledgerCredit != v.Credit {
+			t.Fatalf("%s entity credit %d != ledger %d", v.ID, v.Credit, ledgerCredit)
+		}
+	}
+}
+
+func TestResumeRefreshesResumedAt(t *testing.T) {
+	h := newHypervisor(t)
+	sb, err := h.CreateSandbox(Config{VCPUs: 1, MemoryMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Pause(sb); err != nil {
+		t.Fatal(err)
+	}
+	h.Clock().Advance(simtime.Second) // paused time must not burn credit
+	before, err := h.Ledger().CreditOf(sb.VCPUs()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Resume(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.ResumedAt() != h.Clock().Now() {
+		t.Fatal("resume did not refresh ResumedAt")
+	}
+	// Pause immediately: only the tiny resume->pause span burns.
+	if _, err := h.Pause(sb); err != nil {
+		t.Fatal(err)
+	}
+	after, err := h.Ledger().CreditOf(sb.VCPUs()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burned := before - after; burned > int64(simtime.Microsecond) {
+		t.Fatalf("paused span burned %d credit; pause time must not burn", burned)
+	}
+}
+
+func TestCreditEpochResetOnLongRun(t *testing.T) {
+	h := newHypervisor(t)
+	sb, err := h.CreateSandbox(Config{VCPUs: 1, MemoryMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run far past the 10.5ms allocation: triggers an epoch reset.
+	h.Clock().Advance(50 * simtime.Millisecond)
+	if _, err := h.Pause(sb); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ledger().Resets() == 0 {
+		t.Fatal("long run did not trigger a credit epoch reset")
+	}
+}
+
+func TestDestroyUnregistersFromLedger(t *testing.T) {
+	h := newHypervisor(t)
+	sb, err := h.CreateSandbox(Config{VCPUs: 3, MemoryMB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ledger().Len() != 3 {
+		t.Fatalf("ledger entities = %d, want 3", h.Ledger().Len())
+	}
+	if err := h.DestroySandbox(sb); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ledger().Len() != 0 {
+		t.Fatalf("ledger entities = %d after destroy, want 0", h.Ledger().Len())
+	}
+}
+
+func TestXenCostModelFlavor(t *testing.T) {
+	h, err := New(Options{Costs: XenCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := h.CreateSandbox(Config{VCPUs: 36, MemoryMB: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Pause(sb); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := h.Resume(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape as the Firecracker flavor: the two operations dominate
+	// and the total is near 1.2µs at 36 vCPUs ("similar observations").
+	if share := rr.TwoOpsShare(); share < 0.875 || share > 0.95 {
+		t.Fatalf("Xen two-ops share = %.3f", share)
+	}
+	if rr.Total < 1000*simtime.Nanosecond || rr.Total > 1400*simtime.Nanosecond {
+		t.Fatalf("Xen vanilla resume at 36 vCPUs = %v", rr.Total)
+	}
+}

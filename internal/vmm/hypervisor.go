@@ -1,0 +1,479 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/credit2"
+	"github.com/horse-faas/horse/internal/runqueue"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Errors reported by hypervisor operations.
+var (
+	ErrNotPaused      = errors.New("vmm: sandbox is not paused")
+	ErrNotRunning     = errors.New("vmm: sandbox is not running")
+	ErrStopped        = errors.New("vmm: sandbox is stopped")
+	ErrResumeBusy     = errors.New("vmm: another resume holds the lock")
+	ErrUnknownSandbox = errors.New("vmm: unknown sandbox")
+	ErrBadConfig      = errors.New("vmm: invalid configuration")
+)
+
+// Config sizes a new sandbox.
+type Config struct {
+	// VCPUs is the virtual CPU count (1..MaxVCPUs).
+	VCPUs int
+	// MemoryMB is the guest memory allocation.
+	MemoryMB int
+	// ULL flags the sandbox for HORSE's reserved-queue fast path.
+	ULL bool
+}
+
+// MaxVCPUs caps sandbox size; the paper evaluates 1..36, "covering and
+// exceeding all the configuration options FaaS Cloud providers provide".
+const MaxVCPUs = 128
+
+// Accounting aggregates the virtual CPU time the hypervisor itself spent
+// on lifecycle operations, split by phase — the basis of the §5.2 CPU
+// overhead numbers.
+type Accounting struct {
+	PauseWork    simtime.Duration
+	ResumeWork   simtime.Duration
+	Pauses       uint64
+	Resumes      uint64
+	LockWaits    uint64
+	MergeThreads uint64
+}
+
+// Hypervisor is the simulated virtualization system: it owns the physical
+// CPUs' run queues (including the reserved ull_runqueues), the global
+// resume lock, and the cost model.
+//
+// Hypervisor is not safe for concurrent use: like the simulation it backs,
+// it is driven from a single goroutine.
+type Hypervisor struct {
+	clock      *simtime.Clock
+	costs      CostModel
+	general    []*runqueue.Queue
+	ull        []*runqueue.Queue
+	sandboxes  map[string]*Sandbox
+	ledger     *credit2.Ledger
+	nextID     int
+	resumeLock bool
+	acct       Accounting
+}
+
+// Options configures a Hypervisor.
+type Options struct {
+	// Clock supplies virtual time; nil creates a fresh clock.
+	Clock *simtime.Clock
+	// Costs is the virtual cost model; the zero value selects
+	// DefaultCostModel.
+	Costs CostModel
+	// CPUs is the number of general-purpose physical CPUs (default 36,
+	// one socket of the paper's testbed).
+	CPUs int
+	// ULLQueues is the number of reserved ull_runqueues (default 1,
+	// §4.1.3; raise it for high uLL trigger rates).
+	ULLQueues int
+}
+
+// New constructs a hypervisor.
+func New(opts Options) (*Hypervisor, error) {
+	if opts.Clock == nil {
+		opts.Clock = simtime.NewClock()
+	}
+	if opts.Costs == (CostModel{}) {
+		opts.Costs = DefaultCostModel()
+	}
+	if opts.CPUs == 0 {
+		opts.CPUs = 36
+	}
+	if opts.CPUs < 0 || opts.ULLQueues < 0 {
+		return nil, fmt.Errorf("%w: CPUs=%d ULLQueues=%d", ErrBadConfig, opts.CPUs, opts.ULLQueues)
+	}
+	if opts.ULLQueues == 0 {
+		opts.ULLQueues = 1
+	}
+	h := &Hypervisor{
+		clock:     opts.Clock,
+		costs:     opts.Costs,
+		sandboxes: make(map[string]*Sandbox),
+		ledger:    credit2.NewLedger(),
+	}
+	for i := 0; i < opts.CPUs; i++ {
+		h.general = append(h.general, runqueue.New(i))
+	}
+	for i := 0; i < opts.ULLQueues; i++ {
+		h.ull = append(h.ull, runqueue.New(opts.CPUs+i, runqueue.Reserved()))
+	}
+	return h, nil
+}
+
+// Clock returns the hypervisor's virtual clock.
+func (h *Hypervisor) Clock() *simtime.Clock { return h.clock }
+
+// Costs returns the active cost model.
+func (h *Hypervisor) Costs() CostModel { return h.costs }
+
+// Queues returns the general-purpose run queues.
+func (h *Hypervisor) Queues() []*runqueue.Queue { return h.general }
+
+// ULLQueues returns the reserved ull_runqueues.
+func (h *Hypervisor) ULLQueues() []*runqueue.Queue { return h.ull }
+
+// Accounting returns a copy of the lifecycle-work accounting.
+func (h *Hypervisor) Accounting() Accounting { return h.acct }
+
+// Ledger returns the credit2-style accounting ledger that supplies every
+// entity's run-queue sort attribute.
+func (h *Hypervisor) Ledger() *credit2.Ledger { return h.ledger }
+
+// Sandbox looks up a sandbox by id.
+func (h *Hypervisor) Sandbox(id string) (*Sandbox, error) {
+	sb, ok := h.sandboxes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSandbox, id)
+	}
+	return sb, nil
+}
+
+// Sandboxes returns the number of live sandboxes.
+func (h *Hypervisor) Sandboxes() int { return len(h.sandboxes) }
+
+// CreateSandbox allocates a sandbox, places its vCPUs on the least-loaded
+// general run queues, and marks it running. The creation cost (microVM
+// boot etc.) is charged by the FaaS layer, not here, because it depends
+// on the start mode.
+func (h *Hypervisor) CreateSandbox(cfg Config) (*Sandbox, error) {
+	if cfg.VCPUs < 1 || cfg.VCPUs > MaxVCPUs {
+		return nil, fmt.Errorf("%w: vCPUs=%d (want 1..%d)", ErrBadConfig, cfg.VCPUs, MaxVCPUs)
+	}
+	if cfg.MemoryMB <= 0 {
+		return nil, fmt.Errorf("%w: memoryMB=%d", ErrBadConfig, cfg.MemoryMB)
+	}
+	h.nextID++
+	sb := &Sandbox{
+		id:       fmt.Sprintf("sb%d", h.nextID),
+		memoryMB: cfg.MemoryMB,
+		state:    StateRunning,
+		ull:      cfg.ULL,
+	}
+	for i := 0; i < cfg.VCPUs; i++ {
+		v := &runqueue.Entity{
+			ID:      fmt.Sprintf("%s/vcpu%d", sb.id, i),
+			Kind:    runqueue.KindVCPU,
+			Credit:  InitialCredit,
+			Sandbox: sb.id,
+		}
+		if err := h.ledger.Register(v.ID, 0); err != nil {
+			return nil, err
+		}
+		sb.vcpus = append(sb.vcpus, v)
+	}
+	sb.resumedAt = h.clock.Now()
+	if err := h.placeAll(sb); err != nil {
+		return nil, err
+	}
+	h.sandboxes[sb.id] = sb
+	return sb, nil
+}
+
+// DestroySandbox removes a sandbox. A running sandbox's vCPUs are pulled
+// off their queues first.
+func (h *Hypervisor) DestroySandbox(sb *Sandbox) error {
+	if _, ok := h.sandboxes[sb.id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSandbox, sb.id)
+	}
+	for _, pl := range sb.placements {
+		if err := pl.Queue.Remove(pl.Element); err != nil {
+			return fmt.Errorf("vmm: destroy %s: %w", sb.id, err)
+		}
+		pl.Queue.Load().RemoveEntity()
+	}
+	sb.placements = nil
+	sb.state = StateStopped
+	for _, v := range sb.vcpus {
+		h.ledger.Unregister(v.ID)
+	}
+	delete(h.sandboxes, sb.id)
+	return nil
+}
+
+// placeAll puts every vCPU on the least-loaded general queue.
+func (h *Hypervisor) placeAll(sb *Sandbox) error {
+	for _, v := range sb.vcpus {
+		q := h.LeastLoadedQueue()
+		e, _, err := q.Insert(v)
+		if err != nil {
+			return err
+		}
+		q.Load().PlaceEntity()
+		sb.placements = append(sb.placements, Placement{Queue: q, Element: e})
+	}
+	return nil
+}
+
+// LeastLoadedQueue returns the general queue with the fewest entities
+// (ties broken by lowest id), the placement policy of the vanilla path.
+func (h *Hypervisor) LeastLoadedQueue() *runqueue.Queue {
+	best := h.general[0]
+	for _, q := range h.general[1:] {
+		if q.Len() < best.Len() {
+			best = q
+		}
+	}
+	return best
+}
+
+// LeastAssignedULLQueue returns the ull_runqueue with the fewest
+// registered paused sandboxes (observer count), the load-balancing rule
+// of §4.1.3 when several ull_runqueues exist.
+func (h *Hypervisor) LeastAssignedULLQueue() *runqueue.Queue {
+	best := h.ull[0]
+	for _, q := range h.ull[1:] {
+		if q.ObserverCount() < best.ObserverCount() {
+			best = q
+		}
+	}
+	return best
+}
+
+// PauseReport describes one completed pause.
+type PauseReport struct {
+	Sandbox string
+	Policy  string
+	VCPUs   int
+	Total   simtime.Duration
+	Steps   []simtime.StopwatchResult
+}
+
+// ResumeReport describes one completed resume, including the per-step
+// breakdown behind Figures 2 and 3.
+type ResumeReport struct {
+	Sandbox string
+	Policy  string
+	VCPUs   int
+	Total   simtime.Duration
+	Steps   []simtime.StopwatchResult
+}
+
+// TwoOpsShare returns the fraction of the resume spent in the sorted
+// merge and load update (steps ④+⑤), the quantity Figure 2 plots.
+func (r ResumeReport) TwoOpsShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	var ops simtime.Duration
+	for _, s := range r.Steps {
+		switch s.Label {
+		case StepMerge, StepLoad, StepPSM, StepCoalesce:
+			ops += s.Cost
+		}
+	}
+	return float64(ops) / float64(r.Total)
+}
+
+// PauseContext is the common frame for pause-path implementations.
+type PauseContext struct {
+	h      *Hypervisor
+	sb     *Sandbox
+	sw     *simtime.Stopwatch
+	policy string
+	done   bool
+}
+
+// BeginPause validates the transition and opens a pause frame.
+func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, error) {
+	if sb.state == StateStopped {
+		return nil, fmt.Errorf("%w: %s", ErrStopped, sb.id)
+	}
+	if sb.state != StateRunning {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotRunning, sb.id, sb.state)
+	}
+	return &PauseContext{
+		h:      h,
+		sb:     sb,
+		sw:     simtime.NewStopwatch(h.clock),
+		policy: policy,
+	}, nil
+}
+
+// Sandbox returns the sandbox being paused.
+func (c *PauseContext) Sandbox() *Sandbox { return c.sb }
+
+// Charge records a costed step on the pause stopwatch.
+func (c *PauseContext) Charge(label string, d simtime.Duration) { c.sw.Charge(label, d) }
+
+// RemoveVCPUs pulls every vCPU off its run queue (the consequence of
+// pausing, §3: "its virtual CPUs are removed from the CPUs run queues"),
+// charging the per-vCPU removal cost and decrementing queue loads.
+func (c *PauseContext) RemoveVCPUs() error {
+	ran := c.h.clock.Now().Sub(c.sb.resumedAt)
+	for _, pl := range c.sb.placements {
+		c.sw.Charge(StepPauseRemove, c.h.costs.PauseVCPURemove)
+		if err := pl.Queue.Remove(pl.Element); err != nil {
+			return fmt.Errorf("vmm: pause %s: %w", c.sb.id, err)
+		}
+		pl.Queue.Load().RemoveEntity()
+		// Each vCPU burns the wall time it was runnable since the last
+		// resume; the refreshed credit is the sort attribute the next
+		// merge (vanilla or P²SM) orders by.
+		ent := pl.Element.Value()
+		credit, err := c.h.ledger.Burn(ent.ID, ran)
+		if err != nil {
+			return fmt.Errorf("vmm: pause %s: %w", c.sb.id, err)
+		}
+		ent.Credit = credit
+	}
+	c.sb.placements = nil
+	return nil
+}
+
+// Finish flips the sandbox to paused and returns the report.
+func (c *PauseContext) Finish() (PauseReport, error) {
+	if c.done {
+		return PauseReport{}, errors.New("vmm: pause frame already finished")
+	}
+	c.done = true
+	c.sb.state = StatePaused
+	c.h.acct.Pauses++
+	c.h.acct.PauseWork += c.sw.Total()
+	return PauseReport{
+		Sandbox: c.sb.id,
+		Policy:  c.policy,
+		VCPUs:   c.sb.NumVCPUs(),
+		Total:   c.sw.Total(),
+		Steps:   c.sw.Steps(),
+	}, nil
+}
+
+// ResumeContext is the common frame for resume-path implementations: it
+// owns the global resume lock, the stopwatch, and the state transition.
+type ResumeContext struct {
+	h      *Hypervisor
+	sb     *Sandbox
+	sw     *simtime.Stopwatch
+	policy string
+	fast   bool
+	done   bool
+}
+
+// BeginResume validates the transition, acquires the global resume lock,
+// and charges the entry steps: ①②③ for the normal path, or the pre-armed
+// fast-path entry for HORSE (fast=true).
+func (h *Hypervisor) BeginResume(sb *Sandbox, policy string, fast bool) (*ResumeContext, error) {
+	if h.resumeLock {
+		h.acct.LockWaits++
+		return nil, fmt.Errorf("%w: resuming %s", ErrResumeBusy, sb.id)
+	}
+	sw := simtime.NewStopwatch(h.clock)
+	if fast {
+		sw.Charge(StepFastPath, h.costs.HorseFixed)
+	} else {
+		sw.Charge(StepParse, h.costs.Parse)
+		sw.Charge(StepLock, h.costs.Lock)
+		sw.Charge(StepSanity, h.costs.Sanity)
+	}
+	if sb.state == StateStopped {
+		return nil, fmt.Errorf("%w: %s", ErrStopped, sb.id)
+	}
+	if sb.state != StatePaused {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotPaused, sb.id, sb.state)
+	}
+	h.resumeLock = true
+	return &ResumeContext{h: h, sb: sb, sw: sw, policy: policy, fast: fast}, nil
+}
+
+// Sandbox returns the sandbox being resumed.
+func (c *ResumeContext) Sandbox() *Sandbox { return c.sb }
+
+// Hypervisor returns the owning hypervisor.
+func (c *ResumeContext) Hypervisor() *Hypervisor { return c.h }
+
+// Charge records a costed step on the resume stopwatch.
+func (c *ResumeContext) Charge(label string, d simtime.Duration) { c.sw.Charge(label, d) }
+
+// Place records that a vCPU now sits on the given queue.
+func (c *ResumeContext) Place(q *runqueue.Queue, e *runqueue.Element) {
+	c.sb.placements = append(c.sb.placements, Placement{Queue: q, Element: e})
+}
+
+// Abort releases the lock without changing sandbox state.
+func (c *ResumeContext) Abort() {
+	if !c.done {
+		c.done = true
+		c.h.resumeLock = false
+	}
+}
+
+// Finish charges the exit step (⑥ on the normal path), flips the sandbox
+// to running, releases the lock, and returns the breakdown report.
+func (c *ResumeContext) Finish() (ResumeReport, error) {
+	if c.done {
+		return ResumeReport{}, errors.New("vmm: resume frame already finished")
+	}
+	if len(c.sb.placements) != len(c.sb.vcpus) {
+		c.Abort()
+		return ResumeReport{}, fmt.Errorf("vmm: resume %s placed %d of %d vCPUs",
+			c.sb.id, len(c.sb.placements), len(c.sb.vcpus))
+	}
+	if !c.fast {
+		c.sw.Charge(StepFinalize, c.h.costs.Finalize)
+	}
+	c.done = true
+	c.sb.state = StateRunning
+	c.sb.resumedAt = c.h.clock.Now()
+	c.h.resumeLock = false
+	c.h.acct.Resumes++
+	c.h.acct.ResumeWork += c.sw.Total()
+	return ResumeReport{
+		Sandbox: c.sb.id,
+		Policy:  c.policy,
+		VCPUs:   c.sb.NumVCPUs(),
+		Total:   c.sw.Total(),
+		Steps:   c.sw.Steps(),
+	}, nil
+}
+
+// PolicyVanilla names the unmodified resume path.
+const PolicyVanilla = "vanil"
+
+// Pause performs the vanilla pause: remove every vCPU from its queue.
+func (h *Hypervisor) Pause(sb *Sandbox) (PauseReport, error) {
+	ctx, err := h.BeginPause(sb, PolicyVanilla)
+	if err != nil {
+		return PauseReport{}, err
+	}
+	if err := ctx.RemoveVCPUs(); err != nil {
+		return PauseReport{}, err
+	}
+	return ctx.Finish()
+}
+
+// Resume performs the vanilla resume (paper §3.1): steps ①②③, then for
+// each vCPU a sequential sorted merge into the least-loaded queue (④)
+// followed by a locked load update (⑤), then step ⑥.
+func (h *Hypervisor) Resume(sb *Sandbox) (ResumeReport, error) {
+	ctx, err := h.BeginResume(sb, PolicyVanilla, false)
+	if err != nil {
+		return ResumeReport{}, err
+	}
+	for i, v := range sb.vcpus {
+		q := h.LeastLoadedQueue()
+		mergeCost := h.costs.MergeWarm
+		if i == 0 {
+			mergeCost = h.costs.MergeCold
+		}
+		ctx.Charge(StepMerge, mergeCost)
+		e, _, err := q.Insert(v)
+		if err != nil {
+			ctx.Abort()
+			return ResumeReport{}, err
+		}
+		ctx.Place(q, e)
+		ctx.Charge(StepLoad, h.costs.LoadUpdate)
+		q.Load().PlaceEntity()
+	}
+	return ctx.Finish()
+}

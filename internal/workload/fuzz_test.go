@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFirewallInvoke checks the firewall tolerates arbitrary payloads:
+// it must either return a decision or ErrBadPayload, never panic.
+func FuzzFirewallInvoke(f *testing.F) {
+	f.Add([]byte(`{"srcIp":"10.0.0.1","dstPort":443}`))
+	f.Add([]byte(`{"srcIp":"not-an-ip"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"srcIp":"::1","dstPort":0}`))
+	fw := DefaultFirewall()
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		out, err := fw.Invoke(payload)
+		if err != nil {
+			return
+		}
+		var dec FirewallDecision
+		if jerr := json.Unmarshal(out, &dec); jerr != nil {
+			t.Fatalf("successful invoke produced unparsable output: %v", jerr)
+		}
+	})
+}
+
+// FuzzNATInvoke checks the NAT tolerates arbitrary payloads.
+func FuzzNATInvoke(f *testing.F) {
+	f.Add([]byte(`{"dstIp":"203.0.113.10","dstPort":80}`))
+	f.Add([]byte(`{"dstIp":""}`))
+	f.Add([]byte(`[1,2,3]`))
+	nat := DefaultNAT()
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		out, err := nat.Invoke(payload)
+		if err != nil {
+			return
+		}
+		var res NATResult
+		if jerr := json.Unmarshal(out, &res); jerr != nil {
+			t.Fatalf("successful invoke produced unparsable output: %v", jerr)
+		}
+	})
+}
+
+// FuzzThumbnailInvoke checks the thumbnail generator rejects hostile
+// dimensions without panicking or allocating unboundedly.
+func FuzzThumbnailInvoke(f *testing.F) {
+	f.Add([]byte(`{"object":"a","width":64,"height":64,"edge":16}`))
+	f.Add([]byte(`{"object":"a","width":-1,"height":64,"edge":16}`))
+	f.Add([]byte(`{"object":"a","width":1000000,"height":1000000,"edge":1}`))
+	th := NewThumbnail()
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var req ThumbnailRequest
+		if json.Unmarshal(payload, &req) == nil && (req.Width > 2048 || req.Height > 2048) {
+			return // keep the fuzz loop fast; large-but-valid images are slow, not buggy
+		}
+		out, err := th.Invoke(payload)
+		if err != nil {
+			return
+		}
+		var res ThumbnailResult
+		if jerr := json.Unmarshal(out, &res); jerr != nil {
+			t.Fatalf("successful invoke produced unparsable output: %v", jerr)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// NATPacket is the request header a NAT invocation rewrites.
+type NATPacket struct {
+	DstIP   string `json:"dstIp"`
+	DstPort uint16 `json:"dstPort"`
+}
+
+// NATRule maps one public endpoint to a private one.
+type NATRule struct {
+	// MatchIP and MatchPort select the packets to rewrite.
+	MatchIP   string
+	MatchPort uint16
+	// RewriteIP and RewritePort are the translated destination.
+	RewriteIP   string
+	RewritePort uint16
+}
+
+// NATResult is the translated header plus whether a rule matched.
+type NATResult struct {
+	DstIP      string `json:"dstIp"`
+	DstPort    uint16 `json:"dstPort"`
+	Translated bool   `json:"translated"`
+}
+
+type natKey struct {
+	ip   string
+	port uint16
+}
+
+// NAT is the Category-2 workload: it changes a request header based on
+// pre-registered routing rules (paper §2). Both the firewall and the NAT
+// are common NFV use cases.
+type NAT struct {
+	table map[natKey]NATRule
+}
+
+var _ Function = (*NAT)(nil)
+
+// NewNAT indexes the routing rules. At least one rule is required.
+func NewNAT(rules []NATRule) (*NAT, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("workload: NAT needs at least one rule")
+	}
+	n := &NAT{table: make(map[natKey]NATRule, len(rules))}
+	for _, r := range rules {
+		if r.MatchIP == "" || r.RewriteIP == "" {
+			return nil, fmt.Errorf("workload: NAT rule with empty address: %+v", r)
+		}
+		n.table[natKey{ip: r.MatchIP, port: r.MatchPort}] = r
+	}
+	return n, nil
+}
+
+// DefaultNAT returns a NAT with a representative rule set.
+func DefaultNAT() *NAT {
+	n, err := NewNAT([]NATRule{
+		{MatchIP: "203.0.113.10", MatchPort: 80, RewriteIP: "10.0.1.10", RewritePort: 8080},
+		{MatchIP: "203.0.113.10", MatchPort: 443, RewriteIP: "10.0.1.11", RewritePort: 8443},
+		{MatchIP: "203.0.113.20", MatchPort: 53, RewriteIP: "10.0.2.5", RewritePort: 5353},
+	})
+	if err != nil {
+		panic(err) // static rules cannot fail to compile
+	}
+	return n
+}
+
+// Name implements Function.
+func (n *NAT) Name() string { return "nat" }
+
+// Category implements Function.
+func (n *NAT) Category() Category { return Category2 }
+
+// VirtualDuration implements Function.
+func (n *NAT) VirtualDuration() simtime.Duration { return NATDuration }
+
+// Translate rewrites a parsed packet header.
+func (n *NAT) Translate(pkt NATPacket) NATResult {
+	if r, ok := n.table[natKey{ip: pkt.DstIP, port: pkt.DstPort}]; ok {
+		return NATResult{DstIP: r.RewriteIP, DstPort: r.RewritePort, Translated: true}
+	}
+	return NATResult{DstIP: pkt.DstIP, DstPort: pkt.DstPort, Translated: false}
+}
+
+// Invoke implements Function: JSON NATPacket in, NATResult out.
+func (n *NAT) Invoke(payload []byte) ([]byte, error) {
+	var pkt NATPacket
+	if err := json.Unmarshal(payload, &pkt); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return json.Marshal(n.Translate(pkt))
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// ScanArraySize is the fixed array length of the Category-3 workload
+// ("given an array composed of 3000 integers", paper §2).
+const ScanArraySize = 3000
+
+// ScanRequest carries the threshold parameter passed at trigger time.
+type ScanRequest struct {
+	Threshold int `json:"threshold"`
+}
+
+// ScanResult lists the indexes of elements larger than the threshold —
+// the kind of operation used during image transformations (paper §2).
+type ScanResult struct {
+	Indexes []int `json:"indexes"`
+	Count   int   `json:"count"`
+}
+
+// Scan is the Category-3 workload: it retrieves the indexes of all array
+// elements larger than an integer parameter.
+type Scan struct {
+	data []int
+}
+
+var _ Function = (*Scan)(nil)
+
+// NewScan builds the workload over a deterministic pseudo-random array
+// derived from seed, with values in [0, 10000).
+func NewScan(seed int64) *Scan {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]int, ScanArraySize)
+	for i := range data {
+		data[i] = rng.Intn(10000)
+	}
+	return &Scan{data: data}
+}
+
+// Name implements Function.
+func (s *Scan) Name() string { return "scan" }
+
+// Category implements Function.
+func (s *Scan) Category() Category { return Category3 }
+
+// VirtualDuration implements Function.
+func (s *Scan) VirtualDuration() simtime.Duration { return ScanDuration }
+
+// IndexesAbove returns the indexes of elements strictly larger than
+// threshold, in ascending index order.
+func (s *Scan) IndexesAbove(threshold int) []int {
+	var out []int
+	for i, v := range s.data {
+		if v > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Invoke implements Function: JSON ScanRequest in, ScanResult out.
+func (s *Scan) Invoke(payload []byte) ([]byte, error) {
+	var req ScanRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	idx := s.IndexesAbove(req.Threshold)
+	return json.Marshal(ScanResult{Indexes: idx, Count: len(idx)})
+}

@@ -1,0 +1,86 @@
+// Package workload implements the functions of the paper's evaluation as
+// real, executable Go code.
+//
+// Section 2 defines three categories of ultra-low-latency workloads by
+// execution time — ≤ 20 µs (Category 1, a stateless firewall), ≤ 1 µs
+// (Category 2, a NAT header rewriter), and hundreds of ns (Category 3, an
+// array index scan) — plus, for §5.4, a long-running thumbnail generator
+// from the SEBS suite and sysbench-style CPU hogs for background load.
+//
+// Each function carries two notions of cost:
+//
+//   - Invoke executes the real logic on a real payload (used by examples
+//     and by the wall-clock micro-benchmarks);
+//   - VirtualDuration is the calibrated execution time charged on the
+//     simulation clock (Table 1: 17 µs / 1.5 µs / 0.7 µs), so the
+//     initialization-percentage experiments reproduce the paper's ratios
+//     regardless of host speed.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Category classifies a function by its execution-time class.
+type Category int
+
+// Workload categories from paper §2 plus the long-running class of §5.4.
+const (
+	// Category1 is ≤ 20 µs (NFV-style firewall).
+	Category1 Category = iota + 1
+	// Category2 is ≤ 1 µs (NAT header rewrite).
+	Category2
+	// Category3 is hundreds of nanoseconds (array index scan).
+	Category3
+	// CategoryLong is a conventional function with ≥ 1 s execution
+	// (thumbnail generation).
+	CategoryLong
+)
+
+// String returns the category's name.
+func (c Category) String() string {
+	switch c {
+	case Category1:
+		return "category1(<=20us)"
+	case Category2:
+		return "category2(<=1us)"
+	case Category3:
+		return "category3(100s-ns)"
+	case CategoryLong:
+		return "long-running"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// ULL reports whether the category is ultra-low-latency.
+func (c Category) ULL() bool {
+	return c == Category1 || c == Category2 || c == Category3
+}
+
+// ErrBadPayload reports an invocation payload the function cannot parse.
+var ErrBadPayload = errors.New("workload: bad payload")
+
+// Function is one deployable FaaS function.
+type Function interface {
+	// Name is the function's registry name.
+	Name() string
+	// Category is its execution-time class.
+	Category() Category
+	// VirtualDuration is the calibrated execution time on the simulation
+	// clock.
+	VirtualDuration() simtime.Duration
+	// Invoke runs the real function logic.
+	Invoke(payload []byte) ([]byte, error)
+}
+
+// Calibrated virtual execution times (Table 1's "Average Execution").
+const (
+	FirewallDuration  = 17 * simtime.Microsecond
+	NATDuration       = simtime.Duration(1.5 * float64(simtime.Microsecond))
+	ScanDuration      = 700 * simtime.Nanosecond
+	ThumbnailDuration = simtime.Duration(2.8 * float64(simtime.Second))
+)
