@@ -12,6 +12,8 @@
 //	horsebench colocation [-vcpus] [-sweep]
 //	                                §5.4     (tail latency of colocated thumbnails)
 //	horsebench ablation             §4.1.3   (number of reserved ull_runqueues)
+//	horsebench trace [-experiment fig2|fig3|replay] [-out prefix] [-metrics-addr addr]
+//	                                run with telemetry: Perfetto trace + metrics exports
 //	horsebench all                  everything above
 package main
 
@@ -36,10 +38,12 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (table1|fig1|fig2|fig3|fig4|overhead|colocation|ablation|verify|all)")
+		return fmt.Errorf("missing subcommand (table1|fig1|fig2|fig3|fig4|overhead|colocation|ablation|trace|verify|all)")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "trace":
+		return traceCmd(w, rest)
 	case "table1":
 		return table1(w)
 	case "fig1":

@@ -34,11 +34,13 @@ package horse
 
 import (
 	"io"
+	"net/http"
 
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/experiments"
 	"github.com/horse-faas/horse/internal/faas"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/trace"
 	"github.com/horse-faas/horse/internal/vmm"
 	"github.com/horse-faas/horse/internal/workload"
@@ -301,6 +303,61 @@ func RunULLDispatch() ([]DispatchResult, error) {
 // VerifyClaims runs every experiment and checks the results against the
 // paper's claims — the machine-checkable version of EXPERIMENTS.md.
 func VerifyClaims() ([]ClaimResult, error) { return experiments.VerifyClaims() }
+
+// Observability (see DESIGN.md "Observability"): a virtual-clock span
+// tracer, a concurrent metrics registry, and the Perfetto/Prometheus
+// exporters. All tracer and registry operations are nil-safe no-ops, so
+// instrumented code needs no conditional wiring.
+type (
+	// Tracer records hierarchical spans against virtual time.
+	Tracer = telemetry.Tracer
+	// TracerOptions configures NewTracer.
+	TracerOptions = telemetry.TracerOptions
+	// Span is one finished span (with its per-step events).
+	Span = telemetry.Span
+	// SpanRef is a live handle onto an open span.
+	SpanRef = telemetry.SpanRef
+	// MetricsRegistry is the concurrent named-instrument registry.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time registry export.
+	MetricsSnapshot = telemetry.Snapshot
+	// ExperimentTelemetry bundles the sinks the traced experiment
+	// harnesses thread into every hypervisor they build.
+	ExperimentTelemetry = experiments.Telemetry
+)
+
+// NewTracer builds a span tracer (ring-buffered, enabled unless
+// opts.Disabled).
+func NewTracer(opts TracerOptions) *Tracer { return telemetry.NewTracer(opts) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// WritePerfettoTrace emits spans as Chrome/Perfetto trace-event JSON
+// (load the file at https://ui.perfetto.dev).
+func WritePerfettoTrace(w io.Writer, spans []Span) error {
+	return telemetry.WritePerfetto(w, spans)
+}
+
+// WritePrometheusText emits a snapshot in Prometheus text exposition
+// format 0.0.4.
+func WritePrometheusText(w io.Writer, snap MetricsSnapshot) error {
+	return telemetry.WritePrometheus(w, snap)
+}
+
+// MetricsHandler serves a registry as a /metrics-style endpoint
+// (Prometheus text by default, JSON via ?format=json).
+func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(r) }
+
+// RunFig2Traced is RunFig2 with telemetry sinks threaded into every run.
+func RunFig2Traced(vcpus []int, tel ExperimentTelemetry) ([]Fig2Point, error) {
+	return experiments.RunFig2Traced(vcpus, tel)
+}
+
+// RunFig3Traced is RunFig3 with telemetry sinks threaded into every run.
+func RunFig3Traced(vcpus []int, tel ExperimentTelemetry) ([]Fig3Point, error) {
+	return experiments.RunFig3Traced(vcpus, tel)
+}
 
 // SynthesizeTrace generates a deterministic Azure-like invocation trace.
 func SynthesizeTrace(cfg TraceConfig) *Trace { return trace.Synthesize(cfg) }

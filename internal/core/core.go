@@ -167,6 +167,9 @@ func (e *Engine) pauseULL(sb *vmm.Sandbox, policy Policy) (vmm.PauseReport, erro
 	}
 
 	e.states[sb.ID()] = st
+	if m := e.h.Metrics(); m != nil {
+		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
+	}
 	return ctx.Finish()
 }
 
@@ -208,6 +211,9 @@ func (e *Engine) Resume(sb *vmm.Sandbox, policy Policy) (vmm.ResumeReport, error
 		return vmm.ResumeReport{}, err
 	}
 	delete(e.states, sb.ID())
+	if m := e.h.Metrics(); m != nil {
+		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
+	}
 	return report, nil
 }
 
@@ -224,6 +230,9 @@ func (e *Engine) resumeHorse(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport
 	}
 	ctx.Charge(vmm.StepCoalesce, e.h.Costs().CoalescedUpdate)
 	st.queue.Load().PlaceCoalesced(st.coal)
+	if m := e.h.Metrics(); m != nil {
+		m.Counter("horse_coalesced_updates_total").Inc()
+	}
 	return ctx.Finish()
 }
 
@@ -272,6 +281,9 @@ func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 	}
 	ctx.Charge(vmm.StepCoalesce, costs.CoalescedUpdate)
 	st.queue.Load().PlaceCoalesced(st.coal)
+	if m := e.h.Metrics(); m != nil {
+		m.Counter("horse_coalesced_updates_total").Inc()
+	}
 	return ctx.Finish()
 }
 
@@ -288,6 +300,10 @@ func (e *Engine) spliceMergeVCPUs(ctx *vmm.ResumeContext, st *pausedState) error
 	res, err := st.queue.MergePSM(st.pre)
 	if err != nil {
 		return err
+	}
+	if m := e.h.Metrics(); m != nil {
+		m.Counter("horse_splice_ops_total").Inc()
+		m.Counter("horse_spliced_vcpus_total").Add(uint64(len(elems)))
 	}
 	for _, el := range elems {
 		ctx.Place(st.queue, el)
@@ -323,6 +339,9 @@ func (e *Engine) dropState(sb *vmm.Sandbox, st *pausedState) {
 		st.queue.Unobserve(st.pre)
 	}
 	delete(e.states, sb.ID())
+	if m := e.h.Metrics(); m != nil {
+		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
+	}
 }
 
 // Validate cross-checks every prepared sandbox's auxiliary structures

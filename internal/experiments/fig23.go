@@ -5,8 +5,20 @@ import (
 
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/vmm"
 )
+
+// Telemetry carries the optional observability sinks an experiment
+// threads into every hypervisor it builds. The zero value disables both.
+// Because each (vcpus, policy) run rebuilds the hypervisor with a fresh
+// virtual clock, the shared tracer re-attaches per run: its monotonic
+// offset keeps the merged timeline ordered and each run lands on its own
+// Perfetto track.
+type Telemetry struct {
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+}
 
 // DefaultVCPUSweep is the paper's 1..36 vCPU sweep, sampled at the points
 // the figures plot.
@@ -24,12 +36,17 @@ type Fig2Point struct {
 // count grows, showing steps ④ (sorted merge) and ⑤ (load update)
 // dominating.
 func RunFig2(vcpuCounts []int) ([]Fig2Point, error) {
+	return RunFig2Traced(vcpuCounts, Telemetry{})
+}
+
+// RunFig2Traced is RunFig2 with telemetry sinks threaded into every run.
+func RunFig2Traced(vcpuCounts []int, tel Telemetry) ([]Fig2Point, error) {
 	if len(vcpuCounts) == 0 {
 		vcpuCounts = DefaultVCPUSweep()
 	}
 	var out []Fig2Point
 	for _, n := range vcpuCounts {
-		report, err := resumeOnce(n, core.Vanilla)
+		report, err := resumeOnce(n, core.Vanilla, tel)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig2 vcpus=%d: %w", n, err)
 		}
@@ -57,6 +74,11 @@ func Fig3Policies() []core.Policy {
 // RunFig3 reproduces Figure 3: resume time for vanil / coal / ppsm /
 // horse across the vCPU sweep.
 func RunFig3(vcpuCounts []int) ([]Fig3Point, error) {
+	return RunFig3Traced(vcpuCounts, Telemetry{})
+}
+
+// RunFig3Traced is RunFig3 with telemetry sinks threaded into every run.
+func RunFig3Traced(vcpuCounts []int, tel Telemetry) ([]Fig3Point, error) {
 	if len(vcpuCounts) == 0 {
 		vcpuCounts = DefaultVCPUSweep()
 	}
@@ -64,7 +86,7 @@ func RunFig3(vcpuCounts []int) ([]Fig3Point, error) {
 	for _, n := range vcpuCounts {
 		point := Fig3Point{VCPUs: n, Totals: make(map[core.Policy]simtime.Duration, 4)}
 		for _, policy := range Fig3Policies() {
-			report, err := resumeOnce(n, policy)
+			report, err := resumeOnce(n, policy, tel)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig3 vcpus=%d policy=%s: %w", n, policy, err)
 			}
@@ -112,8 +134,8 @@ func SummarizeFig3(points []Fig3Point) (Fig3Summary, error) {
 // resumeOnce builds a fresh hypervisor, creates a uLL sandbox with n
 // vCPUs, pauses and resumes it under the policy, and returns the resume
 // breakdown.
-func resumeOnce(n int, policy core.Policy) (vmm.ResumeReport, error) {
-	h, err := vmm.New(vmm.Options{})
+func resumeOnce(n int, policy core.Policy, tel Telemetry) (vmm.ResumeReport, error) {
+	h, err := vmm.New(vmm.Options{Tracer: tel.Tracer, Metrics: tel.Metrics})
 	if err != nil {
 		return vmm.ResumeReport{}, err
 	}

@@ -91,6 +91,7 @@ func (p *Platform) shrinkPool(d *Deployment, n int, policy core.Policy) error {
 			return err
 		}
 	}
+	p.updatePoolGauge()
 	return nil
 }
 

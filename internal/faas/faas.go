@@ -22,6 +22,7 @@ import (
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/snapshot"
+	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/vmm"
 	"github.com/horse-faas/horse/internal/workload"
 )
@@ -169,6 +170,12 @@ type Options struct {
 	Costs vmm.CostModel
 	// SnapshotCosts overrides the snapshot cost model.
 	SnapshotCosts snapshot.CostModel
+	// Tracer is handed to the hypervisor built when Hypervisor is nil;
+	// ignored otherwise (pass it via vmm.Options instead).
+	Tracer *telemetry.Tracer
+	// Metrics is handed to the hypervisor built when Hypervisor is nil;
+	// ignored otherwise.
+	Metrics *telemetry.Registry
 }
 
 // New builds a platform.
@@ -180,6 +187,8 @@ func New(opts Options) (*Platform, error) {
 			CPUs:      opts.CPUs,
 			ULLQueues: opts.ULLQueues,
 			Costs:     opts.Costs,
+			Tracer:    opts.Tracer,
+			Metrics:   opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -268,6 +277,7 @@ func (p *Platform) Provision(name string, n int, policy core.Policy) error {
 		}
 		d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
 	}
+	p.updatePoolGauge()
 	return nil
 }
 
@@ -307,6 +317,14 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 	if err != nil {
 		return Invocation{}, err
 	}
+	span := p.h.Tracer().StartSpan("invocation")
+	defer span.End()
+	span.Attr("function", name)
+	span.Attr("mode", mode.String())
+	m := p.h.Metrics()
+	if m != nil {
+		m.Counter("faas_triggers_total", "mode", mode.String()).Inc()
+	}
 	d.recordTrigger(p.clock.Now())
 	if mode == ModeRestore {
 		// Cutting the snapshot is a deploy-time operation; it must not
@@ -336,6 +354,7 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 	case ModeWarm:
 		p.clock.Advance(p.h.Costs().WarmDispatch)
 		ps, ok := d.takeWarm(core.Vanilla)
+		p.recordPoolLookup(ok)
 		if !ok {
 			return Invocation{}, fmt.Errorf("%w: %q (warm)", ErrNoWarmSandbox, name)
 		}
@@ -345,6 +364,7 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 		}
 	case ModeHorse:
 		ps, ok := d.takeWarm(core.Horse)
+		p.recordPoolLookup(ok)
 		if !ok {
 			return Invocation{}, fmt.Errorf("%w: %q (horse)", ErrNoWarmSandbox, name)
 		}
@@ -358,18 +378,21 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 	}
 
 	ready := p.clock.Now()
+	span.Step("init", ready.Sub(start))
 
 	// Execute the real function logic and charge the calibrated virtual
 	// execution time.
 	output, invokeErr := d.fn.Invoke(payload)
 	p.clock.Advance(d.fn.VirtualDuration())
 	end := p.clock.Now()
+	span.Step("exec", end.Sub(ready))
 
 	// Return the sandbox to the pool, re-armed for the same path.
 	if _, perr := p.engine.Pause(sb, policy); perr != nil {
 		return Invocation{}, perr
 	}
 	d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
+	p.updatePoolGauge()
 
 	if invokeErr != nil {
 		return Invocation{}, fmt.Errorf("faas: invoking %q: %w", name, invokeErr)
@@ -411,5 +434,37 @@ func (p *Platform) Reap() (int, error) {
 		d.pool = kept
 	}
 	p.reaped += uint64(reaped)
+	if m := p.h.Metrics(); m != nil && reaped > 0 {
+		m.Counter("faas_keepalive_expirations_total").Add(uint64(reaped))
+	}
+	p.updatePoolGauge()
 	return reaped, nil
+}
+
+// recordPoolLookup counts a warm-pool hit or miss and refreshes the pool
+// gauge after a successful take.
+func (p *Platform) recordPoolLookup(hit bool) {
+	if m := p.h.Metrics(); m != nil {
+		if hit {
+			m.Counter("faas_warm_pool_hits_total").Inc()
+		} else {
+			m.Counter("faas_warm_pool_misses_total").Inc()
+		}
+	}
+	if hit {
+		p.updatePoolGauge()
+	}
+}
+
+// updatePoolGauge publishes the platform-wide warm-pool size.
+func (p *Platform) updatePoolGauge() {
+	m := p.h.Metrics()
+	if m == nil {
+		return
+	}
+	total := 0
+	for _, d := range p.deployments {
+		total += len(d.pool)
+	}
+	m.Gauge("faas_warm_pool_size").Set(int64(total))
 }

@@ -3,6 +3,7 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"github.com/horse-faas/horse/internal/metrics"
 	"github.com/horse-faas/horse/internal/simtime"
@@ -49,6 +50,10 @@ func (p *Platform) Replay(arrivals []trace.Arrival, mode StartMode, payloads Pay
 		return ReplayReport{}, errors.New("faas: nil payload function")
 	}
 	report := ReplayReport{Mode: mode}
+	span := p.h.Tracer().StartSpan("replay")
+	defer span.End()
+	span.Attr("mode", mode.String())
+	span.Attr("arrivals", strconv.Itoa(len(arrivals)))
 	var (
 		inits     = metrics.NewSeries(len(arrivals))
 		execs     = metrics.NewSeries(len(arrivals))

@@ -38,6 +38,14 @@ func (s *Series) Record(d simtime.Duration) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.samples) }
 
+// Reset discards every sample while keeping the allocated capacity, so a
+// periodically scraped series (telemetry's per-window summaries) can be
+// drained without reallocating its buffer.
+func (s *Series) Reset() {
+	s.samples = s.samples[:0]
+	s.sorted = false
+}
+
 // Sum returns the total of all samples.
 func (s *Series) Sum() simtime.Duration {
 	var sum simtime.Duration
@@ -183,7 +191,14 @@ func tQuantile(df int) float64 {
 	if df > 30 {
 		return 1.96
 	}
-	// Fall back to the next tabulated value below.
+	// Untabulated df (11-14, 16-19, 21-24, 26-29) fall back to the
+	// largest tabulated df below the request — equivalently, the smallest
+	// tabulated quantile at or below df, since t-quantiles decrease
+	// monotonically in df. That neighbour's quantile is strictly larger
+	// than the exact value (e.g. df=11 uses the df=10 value 2.228 instead
+	// of the true 2.201), so the resulting confidence interval is
+	// conservative: never narrower than Student's t prescribes. df < 1
+	// never occurs (CI95 needs n >= 2) but would get the widest entry.
 	best := 12.706
 	for k, v := range tTable {
 		if k <= df && v < best {
@@ -254,6 +269,31 @@ func (h *Histogram) Observe(d simtime.Duration) {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// BucketWidth returns the fixed bucket width.
+func (h *Histogram) BucketWidth() simtime.Duration { return h.bucketWidth }
+
+// NumBuckets returns the bucket count (excluding the overflow bucket).
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Merge adds other's observations into h. The two histograms must share
+// the same shape (bucket width and count); merging is how the telemetry
+// registry combines scrape-cycle copies without re-observing samples.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.bucketWidth != other.bucketWidth || len(h.counts) != len(other.counts) {
+		return fmt.Errorf("metrics: merge shape mismatch: %v×%d vs %v×%d",
+			h.bucketWidth, len(h.counts), other.bucketWidth, len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.overflow += other.overflow
+	h.total += other.total
+	return nil
+}
 
 // Overflow returns observations beyond the last bucket.
 func (h *Histogram) Overflow() uint64 { return h.overflow }

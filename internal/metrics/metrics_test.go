@@ -321,3 +321,121 @@ func TestTQuantileRegimes(t *testing.T) {
 		t.Fatalf("CI did not shrink with samples: %v vs %v", small.HalfWidth, large.HalfWidth)
 	}
 }
+
+func TestSeriesReset(t *testing.T) {
+	s := seriesOf(3, 1, 2)
+	if _, err := s.Min(); err != nil { // force the sorted state
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
+	}
+	if _, err := s.Mean(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("mean after reset: %v", err)
+	}
+	// The series must be fully usable again, with fresh sort state.
+	s.Record(5)
+	s.Record(4)
+	if min, err := s.Min(); err != nil || min != 4 {
+		t.Fatalf("min after refill = %v, %v", min, err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, err := NewHistogram(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHistogram(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(5)
+	a.Observe(15)
+	b.Observe(15)
+	b.Observe(100) // overflow
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 4 || a.Overflow() != 1 {
+		t.Fatalf("total=%d overflow=%d", a.Total(), a.Overflow())
+	}
+	if a.Bucket(0) != 1 || a.Bucket(1) != 2 {
+		t.Fatalf("buckets = %d,%d", a.Bucket(0), a.Bucket(1))
+	}
+	// b is untouched.
+	if b.Total() != 2 || b.Bucket(1) != 1 {
+		t.Fatalf("source mutated: total=%d", b.Total())
+	}
+	// Merging nil is a no-op.
+	if err := a.Merge(nil); err != nil || a.Total() != 4 {
+		t.Fatalf("nil merge: %v total=%d", err, a.Total())
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a, _ := NewHistogram(10, 4)
+	wrongWidth, _ := NewHistogram(20, 4)
+	wrongCount, _ := NewHistogram(10, 8)
+	if err := a.Merge(wrongWidth); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if err := a.Merge(wrongCount); err == nil {
+		t.Fatal("bucket count mismatch accepted")
+	}
+	if a.Total() != 0 {
+		t.Fatalf("failed merge mutated target: %d", a.Total())
+	}
+}
+
+func TestHistogramShapeAccessors(t *testing.T) {
+	h, err := NewHistogram(50*simtime.Nanosecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BucketWidth() != 50*simtime.Nanosecond || h.NumBuckets() != 100 {
+		t.Fatalf("shape = %v x %d", h.BucketWidth(), h.NumBuckets())
+	}
+}
+
+// TestTQuantilePinned pins the exact fallback behaviour for every df
+// regime, in particular the untabulated 11-14 band: each falls back to
+// the largest tabulated df below it (df=10's 2.228), which over-covers
+// because t-quantiles decrease monotonically in df.
+func TestTQuantilePinned(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, // tabulated
+		{5, 2.571},  // tabulated
+		{10, 2.228}, // tabulated
+		{11, 2.228}, // untabulated: falls back to df=10
+		{12, 2.228},
+		{13, 2.228},
+		{14, 2.228},
+		{15, 2.131}, // tabulated
+		{16, 2.131}, // untabulated: falls back to df=15
+		{19, 2.131},
+		{20, 2.086}, // tabulated
+		{24, 2.086}, // untabulated: falls back to df=20
+		{26, 2.060}, // untabulated: falls back to df=25
+		{30, 2.042}, // tabulated
+		{31, 1.96},  // normal approximation
+		{1000, 1.96},
+	}
+	for _, tc := range cases {
+		if got := tQuantile(tc.df); got != tc.want {
+			t.Errorf("tQuantile(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	// The conservative property itself: every fallback value must be at
+	// least the true quantile of the next tabulated df above (approx by
+	// the normal bound 1.96 for df <= 30).
+	for df := 1; df <= 30; df++ {
+		if got := tQuantile(df); got < 1.96 {
+			t.Errorf("tQuantile(%d) = %v below the normal bound", df, got)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus emits a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per family, then the samples in
+// sorted order. Duration histograms are exported in nanoseconds with
+// cumulative le buckets.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	if err := writeScalarFamilies(w, "counter", toScalar(snap.Counters)); err != nil {
+		return err
+	}
+	if err := writeScalarFamilies(w, "gauge", gaugesToScalar(snap.Gauges)); err != nil {
+		return err
+	}
+	return writeHistogramFamilies(w, snap.Histograms)
+}
+
+type scalarSample struct {
+	name  string
+	value string
+}
+
+func toScalar(m map[string]uint64) []scalarSample {
+	out := make([]scalarSample, 0, len(m))
+	for k, v := range m {
+		out = append(out, scalarSample{k, fmt.Sprintf("%d", v)})
+	}
+	return out
+}
+
+func gaugesToScalar(m map[string]int64) []scalarSample {
+	out := make([]scalarSample, 0, len(m))
+	for k, v := range m {
+		out = append(out, scalarSample{k, fmt.Sprintf("%d", v)})
+	}
+	return out
+}
+
+func writeScalarFamilies(w io.Writer, kind string, samples []scalarSample) error {
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	typed := map[string]bool{}
+	for _, s := range samples {
+		fam := Family(s.name)
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withLabel inserts an extra label into a full instrument name:
+// withLabel(`x{a="b"}`, `le="50"`) → `x{a="b",le="50"}`.
+func withLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// splitName separates an instrument name into family and label block
+// (including braces, empty when unlabelled).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+func writeHistogramFamilies(w io.Writer, hists map[string]HistogramSnapshot) error {
+	names := make([]string, 0, len(hists))
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, name := range names {
+		h := hists[name]
+		fam, labels := splitName(name)
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+				return err
+			}
+		}
+		var cum uint64
+		for i, c := range h.Buckets {
+			cum += c
+			le := fmt.Sprintf(`le="%d"`, int64(i+1)*h.BucketWidthNs)
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+labels, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Overflow
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket"+labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", fam, labels, h.SumNanos); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format, or as a JSON snapshot when the request asks for JSON
+// (?format=json or Accept: application/json). Mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snap)
+	})
+}

@@ -3,10 +3,12 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"github.com/horse-faas/horse/internal/credit2"
 	"github.com/horse-faas/horse/internal/runqueue"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
 )
 
 // Errors reported by hypervisor operations.
@@ -61,6 +63,12 @@ type Hypervisor struct {
 	nextID     int
 	resumeLock bool
 	acct       Accounting
+
+	// tracer and metrics are the optional observability sinks; both are
+	// nil-safe no-ops when unset, so the pause/resume hot paths stay
+	// instrumented unconditionally.
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
 }
 
 // Options configures a Hypervisor.
@@ -76,6 +84,12 @@ type Options struct {
 	// ULLQueues is the number of reserved ull_runqueues (default 1,
 	// §4.1.3; raise it for high uLL trigger rates).
 	ULLQueues int
+	// Tracer, if non-nil, records a span per pause/resume with per-step
+	// events; the hypervisor attaches it to its clock.
+	Tracer *telemetry.Tracer
+	// Metrics, if non-nil, receives lifecycle counters and the
+	// policy-labelled pause/resume duration histograms.
+	Metrics *telemetry.Registry
 }
 
 // New constructs a hypervisor.
@@ -100,6 +114,11 @@ func New(opts Options) (*Hypervisor, error) {
 		costs:     opts.Costs,
 		sandboxes: make(map[string]*Sandbox),
 		ledger:    credit2.NewLedger(),
+		tracer:    opts.Tracer,
+		metrics:   opts.Metrics,
+	}
+	if h.tracer != nil {
+		h.tracer.AttachClock(h.clock)
 	}
 	for i := 0; i < opts.CPUs; i++ {
 		h.general = append(h.general, runqueue.New(i))
@@ -112,6 +131,14 @@ func New(opts Options) (*Hypervisor, error) {
 
 // Clock returns the hypervisor's virtual clock.
 func (h *Hypervisor) Clock() *simtime.Clock { return h.clock }
+
+// Tracer returns the attached span tracer (possibly nil; all tracer
+// operations are nil-safe).
+func (h *Hypervisor) Tracer() *telemetry.Tracer { return h.tracer }
+
+// Metrics returns the attached metrics registry (possibly nil; all
+// registry operations are nil-safe).
+func (h *Hypervisor) Metrics() *telemetry.Registry { return h.metrics }
 
 // Costs returns the active cost model.
 func (h *Hypervisor) Costs() CostModel { return h.costs }
@@ -279,6 +306,7 @@ type PauseContext struct {
 	h      *Hypervisor
 	sb     *Sandbox
 	sw     *simtime.Stopwatch
+	span   telemetry.SpanRef
 	policy string
 	done   bool
 }
@@ -291,10 +319,14 @@ func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, erro
 	if sb.state != StateRunning {
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotRunning, sb.id, sb.state)
 	}
+	span := h.tracer.StartSpan("pause")
+	span.Attr("sandbox", sb.id)
+	span.Attr("policy", policy)
 	return &PauseContext{
 		h:      h,
 		sb:     sb,
 		sw:     simtime.NewStopwatch(h.clock),
+		span:   span,
 		policy: policy,
 	}, nil
 }
@@ -302,8 +334,12 @@ func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, erro
 // Sandbox returns the sandbox being paused.
 func (c *PauseContext) Sandbox() *Sandbox { return c.sb }
 
-// Charge records a costed step on the pause stopwatch.
-func (c *PauseContext) Charge(label string, d simtime.Duration) { c.sw.Charge(label, d) }
+// Charge records a costed step on the pause stopwatch and, when tracing,
+// as a step event on the pause span.
+func (c *PauseContext) Charge(label string, d simtime.Duration) {
+	c.sw.Charge(label, d)
+	c.span.Step(label, d)
+}
 
 // RemoveVCPUs pulls every vCPU off its run queue (the consequence of
 // pausing, §3: "its virtual CPUs are removed from the CPUs run queues"),
@@ -311,8 +347,9 @@ func (c *PauseContext) Charge(label string, d simtime.Duration) { c.sw.Charge(la
 func (c *PauseContext) RemoveVCPUs() error {
 	ran := c.h.clock.Now().Sub(c.sb.resumedAt)
 	for _, pl := range c.sb.placements {
-		c.sw.Charge(StepPauseRemove, c.h.costs.PauseVCPURemove)
+		c.Charge(StepPauseRemove, c.h.costs.PauseVCPURemove)
 		if err := pl.Queue.Remove(pl.Element); err != nil {
+			c.span.End()
 			return fmt.Errorf("vmm: pause %s: %w", c.sb.id, err)
 		}
 		pl.Queue.Load().RemoveEntity()
@@ -322,6 +359,7 @@ func (c *PauseContext) RemoveVCPUs() error {
 		ent := pl.Element.Value()
 		credit, err := c.h.ledger.Burn(ent.ID, ran)
 		if err != nil {
+			c.span.End()
 			return fmt.Errorf("vmm: pause %s: %w", c.sb.id, err)
 		}
 		ent.Credit = credit
@@ -339,6 +377,11 @@ func (c *PauseContext) Finish() (PauseReport, error) {
 	c.sb.state = StatePaused
 	c.h.acct.Pauses++
 	c.h.acct.PauseWork += c.sw.Total()
+	c.span.End()
+	if m := c.h.metrics; m != nil {
+		m.Counter("vmm_pauses_total", "policy", c.policy).Inc()
+		m.Histogram("vmm_pause_ns", "policy", c.policy).Observe(c.sw.Total())
+	}
 	return PauseReport{
 		Sandbox: c.sb.id,
 		Policy:  c.policy,
@@ -354,6 +397,7 @@ type ResumeContext struct {
 	h      *Hypervisor
 	sb     *Sandbox
 	sw     *simtime.Stopwatch
+	span   telemetry.SpanRef
 	policy string
 	fast   bool
 	done   bool
@@ -365,24 +409,37 @@ type ResumeContext struct {
 func (h *Hypervisor) BeginResume(sb *Sandbox, policy string, fast bool) (*ResumeContext, error) {
 	if h.resumeLock {
 		h.acct.LockWaits++
+		if h.metrics != nil {
+			h.metrics.Counter("vmm_resume_lock_waits_total").Inc()
+		}
 		return nil, fmt.Errorf("%w: resuming %s", ErrResumeBusy, sb.id)
 	}
+	span := h.tracer.StartSpan("resume")
+	span.Attr("sandbox", sb.id)
+	span.Attr("policy", policy)
+	span.Attr("vcpus", strconv.Itoa(sb.NumVCPUs()))
 	sw := simtime.NewStopwatch(h.clock)
+	charge := func(label string, d simtime.Duration) {
+		sw.Charge(label, d)
+		span.Step(label, d)
+	}
 	if fast {
-		sw.Charge(StepFastPath, h.costs.HorseFixed)
+		charge(StepFastPath, h.costs.HorseFixed)
 	} else {
-		sw.Charge(StepParse, h.costs.Parse)
-		sw.Charge(StepLock, h.costs.Lock)
-		sw.Charge(StepSanity, h.costs.Sanity)
+		charge(StepParse, h.costs.Parse)
+		charge(StepLock, h.costs.Lock)
+		charge(StepSanity, h.costs.Sanity)
 	}
 	if sb.state == StateStopped {
+		span.End()
 		return nil, fmt.Errorf("%w: %s", ErrStopped, sb.id)
 	}
 	if sb.state != StatePaused {
+		span.End()
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotPaused, sb.id, sb.state)
 	}
 	h.resumeLock = true
-	return &ResumeContext{h: h, sb: sb, sw: sw, policy: policy, fast: fast}, nil
+	return &ResumeContext{h: h, sb: sb, sw: sw, span: span, policy: policy, fast: fast}, nil
 }
 
 // Sandbox returns the sandbox being resumed.
@@ -391,8 +448,12 @@ func (c *ResumeContext) Sandbox() *Sandbox { return c.sb }
 // Hypervisor returns the owning hypervisor.
 func (c *ResumeContext) Hypervisor() *Hypervisor { return c.h }
 
-// Charge records a costed step on the resume stopwatch.
-func (c *ResumeContext) Charge(label string, d simtime.Duration) { c.sw.Charge(label, d) }
+// Charge records a costed step on the resume stopwatch and, when
+// tracing, as a step event on the resume span.
+func (c *ResumeContext) Charge(label string, d simtime.Duration) {
+	c.sw.Charge(label, d)
+	c.span.Step(label, d)
+}
 
 // Place records that a vCPU now sits on the given queue.
 func (c *ResumeContext) Place(q *runqueue.Queue, e *runqueue.Element) {
@@ -404,6 +465,7 @@ func (c *ResumeContext) Abort() {
 	if !c.done {
 		c.done = true
 		c.h.resumeLock = false
+		c.span.End()
 	}
 }
 
@@ -419,7 +481,7 @@ func (c *ResumeContext) Finish() (ResumeReport, error) {
 			c.sb.id, len(c.sb.placements), len(c.sb.vcpus))
 	}
 	if !c.fast {
-		c.sw.Charge(StepFinalize, c.h.costs.Finalize)
+		c.Charge(StepFinalize, c.h.costs.Finalize)
 	}
 	c.done = true
 	c.sb.state = StateRunning
@@ -427,6 +489,11 @@ func (c *ResumeContext) Finish() (ResumeReport, error) {
 	c.h.resumeLock = false
 	c.h.acct.Resumes++
 	c.h.acct.ResumeWork += c.sw.Total()
+	c.span.End()
+	if m := c.h.metrics; m != nil {
+		m.Counter("vmm_resumes_total", "policy", c.policy).Inc()
+		m.Histogram("vmm_resume_ns", "policy", c.policy).Observe(c.sw.Total())
+	}
 	return ResumeReport{
 		Sandbox: c.sb.id,
 		Policy:  c.policy,
