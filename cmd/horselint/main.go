@@ -1,0 +1,122 @@
+// Command horselint runs the repository's determinism and telemetry
+// invariant analyzers (internal/analysis) over package patterns, in the
+// style of a go/analysis multichecker:
+//
+//	go run ./cmd/horselint ./...
+//	go run ./cmd/horselint -json ./internal/vmm ./internal/core
+//
+// Analyzers:
+//
+//	wallclock  — no wall-clock time APIs in simulation packages
+//	detrand    — no global math/rand functions or wall-clock seeds
+//	metricname — telemetry instrument names must be in the catalog
+//	costcharge — virtual-clock charges must use named cost constants
+//
+// A finding can be suppressed per line with
+// //horselint:allow-<analyzer> <reason>; the reason is mandatory and
+// bare or misspelled directives are themselves reported.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"github.com/horse-faas/horse/internal/analysis/costcharge"
+	"github.com/horse-faas/horse/internal/analysis/detrand"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/metricname"
+	"github.com/horse-faas/horse/internal/analysis/simclock"
+)
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("horselint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: horselint [-json] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the HORSE invariant analyzers over package patterns (default ./...).\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+
+	analyzers := []*lint.Analyzer{
+		simclock.Default(),
+		detrand.Default(),
+		metricname.Default(),
+		costcharge.Default(),
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+		return 2
+	}
+
+	diags, err := lint.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+		return 2
+	}
+	diags = append(diags, lint.CheckDirectives(pkgs, known)...)
+	lint.Sort(diags)
+
+	if *jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "horselint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+// Package costcharge implements the horselint analyzer that keeps the
+// cost model authoritative.
+//
+// DESIGN.md §5 calibrates every virtual-time constant of the simulated
+// resume/pause paths in one table, realized as vmm.CostModel. A call
+// that advances the virtual clock with a raw numeric literal
+// (ctx.Charge(step, 110) or clock.Advance(240*simtime.Nanosecond))
+// bypasses that table: the number is invisible to the calibration tests
+// and drifts silently. Inside the hypervisor packages the analyzer flags
+// any clock-advancing call (Charge, Advance) whose cost expression
+// contains a non-zero numeric literal; costs must come from named
+// CostModel fields or constants so §5 stays the single source of truth.
+// Test files are exempt — tests charge synthetic costs on purpose.
+package costcharge
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Name is the analyzer's directive name: //horselint:allow-costcharge.
+const Name = "costcharge"
+
+// costArg maps each clock-advancing call to the index of its cost
+// argument.
+var costArg = map[string]int{
+	"Charge":  1, // Stopwatch/PauseContext/ResumeContext.Charge(label, cost)
+	"Advance": 0, // Clock.Advance(cost)
+}
+
+// DefaultCostPackages is the production list of package paths whose
+// clock advances must route through the cost model.
+var DefaultCostPackages = []string{
+	"github.com/horse-faas/horse/internal/vmm",
+	"github.com/horse-faas/horse/internal/core",
+}
+
+// Default returns the analyzer configured for this repository.
+func Default() *lint.Analyzer { return New(DefaultCostPackages...) }
+
+// New returns a costcharge analyzer restricted to packages whose import
+// path matches one of the given prefixes.
+func New(prefixes ...string) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: Name,
+		Doc:  "forbids raw numeric literals in virtual-clock charges inside hypervisor packages; costs must be named cost-model constants",
+		Run: func(pass *lint.Pass) error {
+			if !lint.PathMatches(pass.Pkg.Path, prefixes) {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				if f.Test {
+					continue
+				}
+				checkFile(pass, f)
+			}
+			return nil
+		},
+	}
+}
+
+func checkFile(pass *lint.Pass, f *lint.File) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		idx, ok := costArg[sel.Sel.Name]
+		if !ok || idx >= len(call.Args) {
+			return true
+		}
+		if lit := numericLiteral(call.Args[idx]); lit != nil {
+			pass.Reportf(lit.Pos(),
+				"raw literal %s in %s cost; advance the virtual clock with a named cost-model constant (vmm.CostModel, DESIGN.md §5) so the calibration table stays authoritative",
+				lit.Value, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// numericLiteral returns the first non-zero INT or FLOAT literal inside
+// expr, or nil. Zero stays legal: charging nothing is not a calibration
+// constant.
+func numericLiteral(expr ast.Expr) *ast.BasicLit {
+	var found *ast.BasicLit
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+			return true
+		}
+		if lit.Value == "0" || lit.Value == "0.0" {
+			return true
+		}
+		found = lit
+		return false
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package costcharge_test
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+	"github.com/horse-faas/horse/internal/analysis/costcharge"
+)
+
+func TestCostcharge(t *testing.T) {
+	analysistest.Run(t, "testdata", costcharge.New("hv"))
+}

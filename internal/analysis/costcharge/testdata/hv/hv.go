@@ -1,0 +1,25 @@
+// Package hv stands in for a hypervisor package: the analyzer is
+// configured with this directory as a restricted prefix.
+package hv
+
+type clock struct{}
+
+func (clock) Advance(d int64) {}
+
+type ctx struct{}
+
+func (ctx) Charge(label string, d int64) {}
+
+// mergeCold plays the role of a named cost-model constant.
+const mergeCold = 240
+
+func resume(c clock, x ctx, vcpus int64) {
+	c.Advance(240)                     // want `raw literal 240 in Advance cost`
+	x.Charge("merge", 110*vcpus)       // want `raw literal 110 in Charge cost`
+	x.Charge("merge", mergeCold)       // clean: named constant
+	x.Charge("merge", vcpus*mergeCold) // clean: scaled named constant
+	c.Advance(0)                       // clean: zero is not a calibration constant
+
+	//horselint:allow-costcharge calibration fixture for the bucket-width sweep
+	c.Advance(999)
+}

@@ -1,0 +1,11 @@
+// Package other is outside the hypervisor prefixes; literal advances
+// (e.g. an event-loop test harness) are not the cost model's business.
+package other
+
+type clock struct{}
+
+func (clock) Advance(d int64) {}
+
+func tick(c clock) {
+	c.Advance(123)
+}

@@ -1,0 +1,129 @@
+// Package detrand implements the horselint analyzer that keeps
+// randomness deterministic.
+//
+// The repository's experiments promise same-seed ⇒ same-percentiles
+// (DESIGN.md §5.4, the determinism regression tests in internal/trace
+// and internal/experiments). The global math/rand functions draw from a
+// process-wide source whose sequence depends on everything else that
+// touched it — and, seeded or not, on package initialization order — so
+// the analyzer forbids them in production code everywhere in the module.
+// Randomness must flow from a *rand.Rand constructed with an explicit
+// seed (rand.New(rand.NewSource(seed))) and plumbed through constructors
+// or config, the way trace.Synthesize and workload.NewScan do.
+//
+// Seeding from the wall clock (rand.NewSource(time.Now().UnixNano()))
+// defeats the point and is flagged too. Test files are exempt.
+package detrand
+
+import (
+	"go/ast"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Name is the analyzer's directive name: //horselint:allow-detrand.
+const Name = "detrand"
+
+// randPackages are the import paths whose top-level draw functions share
+// global state.
+var randPackages = []string{"math/rand", "math/rand/v2"}
+
+// forbidden lists the top-level math/rand (and v2) functions that use
+// the shared global source. Constructors (New, NewSource, NewPCG,
+// NewChaCha8) are the sanctioned replacements and stay legal.
+var forbidden = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true,
+}
+
+// Default returns the analyzer as configured for this repository.
+func Default() *lint.Analyzer { return New() }
+
+// New returns a detrand analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: Name,
+		Doc:  "forbids the global math/rand functions and wall-clock seeds in production code; use an explicitly seeded *rand.Rand",
+		Run: func(pass *lint.Pass) error {
+			for _, f := range pass.Pkg.Files {
+				if f.Test {
+					continue
+				}
+				checkFile(pass, f)
+			}
+			return nil
+		},
+	}
+}
+
+func checkFile(pass *lint.Pass, f *lint.File) {
+	randNames := map[string]bool{}
+	for _, local := range f.ImportedAs(randPackages...) {
+		randNames[local] = true
+	}
+	if len(randNames) == 0 {
+		return
+	}
+	timeNames := map[string]bool{}
+	for _, local := range f.ImportedAs("time") {
+		timeNames[local] = true
+	}
+
+	// Map each immediately-called selector to its call, so the source
+	// constructors can have their seed arguments checked.
+	calls := make(map[ast.Expr]*ast.CallExpr)
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls[call.Fun] = call
+		}
+		return true
+	})
+
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || !randNames[ident.Name] {
+			return true
+		}
+		switch {
+		case forbidden[sel.Sel.Name]:
+			pass.Reportf(sel.Pos(),
+				"global rand.%s draws from the shared process-wide source; construct a seeded *rand.Rand and plumb it through the config (same seed must reproduce the same percentiles)",
+				sel.Sel.Name)
+		case sel.Sel.Name == "NewSource" || sel.Sel.Name == "NewPCG":
+			// A constructor is fine unless its seed reads the wall clock.
+			if call := calls[ast.Expr(sel)]; call != nil && seedUsesWallClock(call, timeNames) {
+				pass.Reportf(sel.Pos(),
+					"rand.%s seeded from the wall clock; thread an explicit seed through the config so runs are reproducible",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// seedUsesWallClock reports whether any argument of the source
+// constructor references a time-package member (time.Now and friends).
+func seedUsesWallClock(call *ast.CallExpr, timeNames map[string]bool) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && timeNames[id.Name] {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

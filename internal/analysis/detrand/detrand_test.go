@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+	"github.com/horse-faas/horse/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.New())
+}

@@ -1,0 +1,9 @@
+// Test files are exempt: tests may use the global source for scratch
+// data where determinism is not load-bearing.
+package randuse
+
+import "math/rand"
+
+func scratch() int {
+	return rand.Intn(100)
+}

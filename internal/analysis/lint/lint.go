@@ -1,0 +1,242 @@
+// Package lint is a minimal, dependency-free analysis framework modelled
+// on golang.org/x/tools/go/analysis. The build environment for this
+// repository is hermetic (no module proxy), so the subset of the
+// go/analysis contract that horselint needs — analyzers, passes,
+// diagnostics, a package loader, and suppression directives — is
+// implemented here on the standard library alone. If the module ever
+// gains network access to x/tools, the analyzers in sibling packages
+// port mechanically: an Analyzer is the same (Name, Doc, Run) triple and
+// Pass.Reportf has the same shape.
+//
+// Suppression: a comment of the form
+//
+//	//horselint:allow-<analyzer> <reason>
+//
+// on the offending line, or alone on the line directly above it,
+// suppresses that analyzer's diagnostics for the line. The reason is
+// mandatory: a bare directive suppresses nothing and is itself reported
+// by the driver (see CheckDirectives), so every escape hatch in the tree
+// documents why the invariant does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //horselint:allow-<name> directives. Lowercase letters only.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects one package and reports diagnostics via the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching
+// //horselint:allow-<analyzer> directive (with a reason) covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Analyzer errors abort the run.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Package is one loaded package: every .go file of one directory.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Name is the package clause identifier of the first parsed file.
+	Name string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files holds the parsed sources, test files included (analyzers
+	// that only govern production code skip File.Test entries).
+	Files []*File
+}
+
+// File is one parsed source file plus the lookup tables analyzers need.
+type File struct {
+	// Name is the path the file was parsed from.
+	Name string
+	// AST is the parsed file (with comments).
+	AST *ast.File
+	// Test reports whether the file name ends in _test.go.
+	Test bool
+	// Imports maps each import's local name to its import path. For an
+	// unnamed import the local name is the path's last element (the
+	// package-name heuristic every syntactic checker uses).
+	Imports map[string]string
+
+	// directives indexes //horselint:allow-* comments by line.
+	directives map[int][]directive
+}
+
+// ImportedAs returns the local names file binds to the given import
+// paths (usually zero or one).
+func (f *File) ImportedAs(paths ...string) []string {
+	var names []string
+	for name, path := range f.Imports {
+		for _, want := range paths {
+			if path == want {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// directive is one parsed //horselint:allow-<analyzer> comment.
+type directive struct {
+	Analyzer string
+	Reason   string
+	Position token.Position
+}
+
+var directiveRE = regexp.MustCompile(`^//horselint:allow-([a-z][a-z0-9]*)(?:[ \t]+(.*))?$`)
+
+// indexDirectives scans the file's comments for horselint directives.
+func (f *File) indexDirectives(fset *token.FileSet) {
+	f.directives = make(map[int][]directive)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			m := directiveRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			f.directives[pos.Line] = append(f.directives[pos.Line], directive{
+				Analyzer: m[1],
+				Reason:   strings.TrimSpace(m[2]),
+				Position: pos,
+			})
+		}
+	}
+}
+
+// suppressed reports whether a reasoned allow directive for analyzer
+// covers the given position (same line or the line above).
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, f := range p.Files {
+		if f.Name != pos.Filename {
+			continue
+		}
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, d := range f.directives[line] {
+				if d.Analyzer == analyzer && d.Reason != "" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports malformed suppression directives: a directive
+// without a reason (it suppresses nothing, so it is either dead or the
+// author skipped the justification) and directives naming an unknown
+// analyzer. known maps valid analyzer names.
+func CheckDirectives(pkgs []*Package, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, ds := range f.directives {
+				for _, d := range ds {
+					switch {
+					case !known[d.Analyzer]:
+						diags = append(diags, Diagnostic{
+							Analyzer: "directive",
+							Position: d.Position,
+							Message:  fmt.Sprintf("unknown analyzer %q in horselint:allow directive", d.Analyzer),
+						})
+					case d.Reason == "":
+						diags = append(diags, Diagnostic{
+							Analyzer: "directive",
+							Position: d.Position,
+							Message:  fmt.Sprintf("horselint:allow-%s directive needs a reason; bare directives suppress nothing", d.Analyzer),
+						})
+					}
+				}
+			}
+		}
+	}
+	Sort(diags)
+	return diags
+}
+
+// PathMatches reports whether pkgPath equals prefix or lies underneath
+// it ("a/b" matches prefixes "a/b" and "a").
+func PathMatches(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

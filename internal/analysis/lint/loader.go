@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Load parses the packages selected by the given patterns, rooted at
+// dir. Patterns follow the go tool's shape: "./pkg" selects one
+// directory, "./pkg/..." a subtree, "./..." everything under dir. The
+// import path of each package is the module path from dir's go.mod
+// (searched upward from dir) joined with the directory's relative path;
+// without a go.mod the relative path alone is used, which is what the
+// analysistest harness relies on.
+//
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped, matching the go tool. Files are parsed syntax-only (no type
+// checking): horselint's invariants are all resolvable from imports and
+// identifiers, which keeps the loader dependency-free and fast.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath := findModule(root)
+	return load(fset, root, modRoot, modPath, patterns)
+}
+
+// LoadAsModule is Load with the module resolution pinned: dir itself is
+// treated as the root of a module named modPath (possibly empty). The
+// analysistest harness uses it so testdata packages get short import
+// paths independent of the enclosing repository's go.mod.
+func LoadAsModule(fset *token.FileSet, dir, modPath string, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return load(fset, root, root, modPath, patterns)
+}
+
+func load(fset *token.FileSet, root, modRoot, modPath string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		rec := false
+		p := pat
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			rec = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(p))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory %s", pat, base)
+		}
+		if !rec {
+			dirs[base] = true
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, d := range sorted {
+		pkg, err := loadDir(fset, d, modRoot, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks upward from dir looking for a go.mod and returns the
+// module root and module path. Without one it returns dir and "".
+func findModule(dir string) (root, path string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir, ""
+		}
+		d = parent
+	}
+}
+
+// loadDir parses every .go file of one directory into a Package, or
+// returns nil if the directory holds no Go files.
+func loadDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Path: importPath(dir, modRoot, modPath)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		astf, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f := &File{
+			Name:    full,
+			AST:     astf,
+			Test:    strings.HasSuffix(name, "_test.go"),
+			Imports: make(map[string]string),
+		}
+		for _, imp := range astf.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			local := path[strings.LastIndexByte(path, '/')+1:]
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			if local == "_" || local == "." {
+				continue
+			}
+			f.Imports[local] = path
+		}
+		f.indexDirectives(fset)
+		if pkg.Name == "" {
+			pkg.Name = astf.Name.Name
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// importPath derives a package's import path from its directory.
+func importPath(dir, modRoot, modPath string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	rel = filepath.ToSlash(rel)
+	if modPath == "" {
+		return rel
+	}
+	return modPath + "/" + rel
+}

@@ -1,0 +1,17 @@
+// Package directives exercises horselint's directive validation.
+package directives
+
+// Bare directive: suppresses nothing, must be reported.
+//
+//horselint:allow-wallclock
+func bare() {}
+
+// Unknown analyzer name: must be reported.
+//
+//horselint:allow-nosuchthing because reasons
+func unknown() {}
+
+// Well-formed: known analyzer plus a reason.
+//
+//horselint:allow-wallclock host timer calibration
+func fine() {}

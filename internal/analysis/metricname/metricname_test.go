@@ -1,0 +1,38 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+	"github.com/horse-faas/horse/internal/analysis/metricname"
+	"github.com/horse-faas/horse/internal/telemetry"
+)
+
+func TestMetricname(t *testing.T) {
+	catalog := map[string]metricname.Instrument{
+		"vmm_resumes_total": {Kind: "counter", Labels: []string{"policy"}},
+		"vmm_resume_ns":     {Kind: "histogram", Labels: []string{"policy"}},
+		"pool_size":         {Kind: "gauge"},
+	}
+	analysistest.Run(t, "testdata", metricname.New(catalog))
+}
+
+// TestDefaultCatalogCoversWiredFamilies pins the production analyzer to
+// the telemetry catalog: every family the instrumented stack emits must
+// resolve, so Default() over this repository stays green.
+func TestDefaultCatalogCoversWiredFamilies(t *testing.T) {
+	byFamily := telemetry.CatalogByFamily()
+	for _, fam := range []string{
+		"vmm_pauses_total", "vmm_resumes_total", "vmm_resume_lock_waits_total",
+		"vmm_pause_ns", "vmm_resume_ns",
+		"horse_splice_ops_total", "horse_spliced_vcpus_total",
+		"horse_coalesced_updates_total", "horse_prepared_sandboxes",
+		"faas_triggers_total", "faas_warm_pool_hits_total",
+		"faas_warm_pool_misses_total", "faas_keepalive_expirations_total",
+		"faas_warm_pool_size",
+	} {
+		if _, ok := byFamily[fam]; !ok {
+			t.Errorf("wired instrument family %q missing from telemetry catalog", fam)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package outside is not a simulation package; wall clocks are fine
+// here and the analyzer must stay silent.
+package outside
+
+import "time"
+
+// Stamp legitimately reads the host clock (e.g. CLI logging).
+func Stamp() time.Time {
+	return time.Now()
+}

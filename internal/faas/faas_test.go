@@ -7,11 +7,16 @@ import (
 
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/testutil"
 	"github.com/horse-faas/horse/internal/workload"
 )
 
+// newPlatform builds a bare platform; the warm-pool and keep-alive
+// machinery it hosts must not leave goroutines behind, so every test
+// built on this helper carries the leak check.
 func newPlatform(t *testing.T) *Platform {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	p, err := New(Options{})
 	if err != nil {
 		t.Fatal(err)

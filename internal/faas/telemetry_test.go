@@ -7,12 +7,14 @@ import (
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
+	"github.com/horse-faas/horse/internal/testutil"
 	"github.com/horse-faas/horse/internal/vmm"
 	"github.com/horse-faas/horse/internal/workload"
 )
 
 func newTracedPlatform(t *testing.T, tr *telemetry.Tracer, m *telemetry.Registry) *Platform {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	p, err := New(Options{Tracer: tr, Metrics: m})
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +129,7 @@ func TestPoolMissAndReapMetrics(t *testing.T) {
 // are single-goroutine simulation objects; the registry is the sink
 // designed for cross-goroutine sharing.
 func TestConcurrentTracedReplays(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	m := telemetry.NewRegistry()
 
 	const replays = 4

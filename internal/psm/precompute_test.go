@@ -6,12 +6,17 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"github.com/horse-faas/horse/internal/testutil"
 )
 
 // buildTarget returns a target list with the given keys and a Precomputed
-// armed over it.
+// armed over it. Merge spawns one goroutine per posA key, so every test
+// built on this helper also verifies the parallel splice leaves no
+// goroutine behind.
 func buildTarget(t *testing.T, keys ...int64) (*List[int], *Precomputed[int]) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	target := NewList[int]()
 	for i, k := range keys {
 		target.Insert(k, i)
@@ -322,6 +327,7 @@ func TestMergeSequentialBaselineMatches(t *testing.T) {
 // source key multisets, Merge produces exactly the sorted union that the
 // sequential baseline produces, and the target stays sorted.
 func TestMergeEquivalenceProperty(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := func(targetKeys, sourceKeys []int16) bool {
 		target := NewList[int]()
 		for _, k := range targetKeys {
@@ -368,6 +374,7 @@ func TestMergeEquivalenceProperty(t *testing.T) {
 // source adds/removes and target inserts/removes — always leaves the
 // structures valid, and a final merge is still exact.
 func TestMaintenanceProperty(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := func(ops []uint8, seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		target := NewList[int]()

@@ -94,6 +94,9 @@ func checkExposition(t *testing.T, text string) {
 		if line == "" {
 			continue
 		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.Fields(line)
 			if len(parts) != 4 {

@@ -10,9 +10,10 @@ import (
 )
 
 // WritePrometheus emits a snapshot in the Prometheus text exposition
-// format (version 0.0.4): one # TYPE line per family, then the samples in
-// sorted order. Duration histograms are exported in nanoseconds with
-// cumulative le buckets.
+// format (version 0.0.4): one # HELP line (for families documented in
+// the instrument catalog) and one # TYPE line per family, then the
+// samples in sorted order. Duration histograms are exported in
+// nanoseconds with cumulative le buckets.
 func WritePrometheus(w io.Writer, snap Snapshot) error {
 	if err := writeScalarFamilies(w, "counter", toScalar(snap.Counters)); err != nil {
 		return err
@@ -44,6 +45,18 @@ func gaugesToScalar(m map[string]int64) []scalarSample {
 	return out
 }
 
+// writeFamilyHeader emits the # HELP (when the catalog documents the
+// family) and # TYPE lines preceding a family's samples.
+func writeFamilyHeader(w io.Writer, fam, kind string) error {
+	if def, ok := catalogIndex[fam]; ok && def.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, def.Help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+	return err
+}
+
 func writeScalarFamilies(w io.Writer, kind string, samples []scalarSample) error {
 	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
 	typed := map[string]bool{}
@@ -51,7 +64,7 @@ func writeScalarFamilies(w io.Writer, kind string, samples []scalarSample) error
 		fam := Family(s.name)
 		if !typed[fam] {
 			typed[fam] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
+			if err := writeFamilyHeader(w, fam, kind); err != nil {
 				return err
 			}
 		}
@@ -92,7 +105,7 @@ func writeHistogramFamilies(w io.Writer, hists map[string]HistogramSnapshot) err
 		fam, labels := splitName(name)
 		if !typed[fam] {
 			typed[fam] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			if err := writeFamilyHeader(w, fam, "histogram"); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,49 @@
+// Package testutil holds shared test helpers. It is not a simulation
+// package: helpers here may read the wall clock (polling deadlines,
+// retry windows) without tripping the wallclock analyzer.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakWindow is how long a finished test waits for stray goroutines to
+// drain before declaring a leak. Goroutine shutdown is asynchronous
+// (a worker observing a closed channel needs a scheduling slot), so the
+// check retries until the count returns to its baseline or the window
+// closes.
+var leakWindow = 2 * time.Second
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if, after the retry window, more goroutines are
+// alive than at the snapshot. Call it first in any test that exercises
+// goroutine-spawning code (the P²SM parallel splice, the faas warm-pool
+// machinery) so a forgotten worker fails the test that leaked it rather
+// than poisoning a later one.
+//
+// Tests using t.Parallel run interleaved with other tests' goroutines
+// and would race the baseline; VerifyNoLeaks is for sequential tests.
+func VerifyNoLeaks(tb testing.TB) {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		deadline := time.Now().Add(leakWindow)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		tb.Errorf("goroutine leak: %d before test, %d still running %v after it finished\n%s",
+			before, after, leakWindow, buf[:n])
+	})
+}

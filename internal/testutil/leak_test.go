@@ -1,0 +1,60 @@
+package testutil
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestVerifyNoLeaksPassesOnBalancedGoroutines spawns workers that
+// finish before the cleanup runs; the check must stay silent.
+func TestVerifyNoLeaksPassesOnBalancedGoroutines(t *testing.T) {
+	VerifyNoLeaks(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// fakeTB records failures and cleanups so the leak check can be run
+// against a throwaway test instance.
+type fakeTB struct {
+	*testing.T
+	failed   bool
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) Errorf(format string, args ...any) { f.failed = true }
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// TestVerifyNoLeaksDetectsLeak runs the cleanup while a deliberately
+// leaked goroutine is still alive and asserts the check fails.
+func TestVerifyNoLeaksDetectsLeak(t *testing.T) {
+	oldWindow := leakWindow
+	leakWindow = 0 // the goroutine below provably outlives the test body
+	defer func() { leakWindow = oldWindow }()
+
+	fake := &fakeTB{T: t}
+	VerifyNoLeaks(fake)
+
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	fake.runCleanups()
+	close(stop)
+	if !fake.failed {
+		t.Fatal("VerifyNoLeaks did not flag a goroutine that outlived the test")
+	}
+}
