@@ -25,6 +25,8 @@ func traceCmd(w io.Writer, args []string) error {
 	hold := fs.Duration("hold", 0, "keep the /metrics endpoint up this long after the run")
 	spanBuffer := fs.Int("span-buffer", 16384, "span ring-buffer capacity")
 	invocations := fs.Int("n", 200, "replay experiment: number of trigger arrivals")
+	faults := fs.String("faults", "", "replay experiment: fault-injection spec, e.g. resume:rate=0.05,invoke:nth=7")
+	faultSeed := fs.Int64("fault-seed", 1, "replay experiment: fault injector seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +55,7 @@ func traceCmd(w io.Writer, args []string) error {
 	case "fig3":
 		_, runErr = horse.RunFig3Traced(nil, horse.ExperimentTelemetry{Tracer: tracer, Metrics: registry})
 	case "replay":
-		runErr = tracedReplay(tracer, registry, *invocations)
+		runErr = tracedReplay(w, tracer, registry, *invocations, *faults, *faultSeed)
 	default:
 		return fmt.Errorf("trace: unknown experiment %q (want fig2|fig3|replay)", *experiment)
 	}
@@ -99,11 +101,22 @@ func traceCmd(w io.Writer, args []string) error {
 
 // tracedReplay replays a synthetic scan-function arrival burst in HORSE
 // mode with telemetry attached, so invocation spans nest resume spans.
-func tracedReplay(tracer *horse.Tracer, registry *horse.MetricsRegistry, n int) error {
+// A non-empty fault spec arms the injector and enables the fallback
+// chain, so the exported metrics include the degradation counters.
+func tracedReplay(w io.Writer, tracer *horse.Tracer, registry *horse.MetricsRegistry, n int, faults string, faultSeed int64) error {
 	if n < 1 {
 		return fmt.Errorf("trace: replay needs at least 1 invocation, got %d", n)
 	}
-	p, err := horse.NewPlatformWith(horse.PlatformOptions{Tracer: tracer, Metrics: registry})
+	injector, err := horse.FaultInjectorFromSpec(faultSeed, faults)
+	if err != nil {
+		return err
+	}
+	p, err := horse.NewPlatformWith(horse.PlatformOptions{
+		Tracer:   tracer,
+		Metrics:  registry,
+		Faults:   injector,
+		Fallback: horse.FallbackConfig{Enabled: injector != nil},
+	})
 	if err != nil {
 		return err
 	}
@@ -125,10 +138,17 @@ func tracedReplay(tracer *horse.Tracer, registry *horse.MetricsRegistry, n int) 
 			Function: fn.Name(),
 		}
 	}
-	_, err = p.Replay(arrivals, horse.ModeHorse, func(string) ([]byte, error) {
+	report, err := p.Replay(arrivals, horse.ModeHorse, func(string) ([]byte, error) {
 		return payload, nil
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if len(report.Failures) > 0 {
+		fmt.Fprintf(w, "replay: %d/%d triggers failed under fault spec %q\n",
+			len(report.Failures), n, faults)
+	}
+	return nil
 }
 
 func writeFileWith(path string, fill func(io.Writer) error) error {

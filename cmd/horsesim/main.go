@@ -38,6 +38,9 @@ func run(args []string, w io.Writer) error {
 		pool      = fs.Int("pool", 1, "provisioned warm sandboxes (warm/horse modes)")
 		tracePath = fs.String("replay", "", "replay arrivals from an Azure-style trace CSV instead of firing -triggers back to back")
 		seed      = fs.Int64("seed", 1, "seed for trace arrival jitter")
+		faults    = fs.String("faults", "", "fault-injection spec, e.g. resume:rate=0.05,pause:nth=3,invoke:every=100")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault injector's per-site draws")
+		fallback  = fs.Bool("fallback", false, "degrade failed triggers along horse>warm>restore>cold with contention retries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,8 +57,15 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	injector, err := horse.FaultInjectorFromSpec(*faultSeed, *faults)
+	if err != nil {
+		return err
+	}
 
-	p, err := horse.NewPlatform()
+	p, err := horse.NewPlatformWith(horse.PlatformOptions{
+		Faults:   injector,
+		Fallback: horse.FallbackConfig{Enabled: *fallback},
+	})
 	if err != nil {
 		return err
 	}
@@ -79,13 +89,26 @@ func run(args []string, w io.Writer) error {
 
 	inits := metrics.NewSeries(*triggers)
 	execs := metrics.NewSeries(*triggers)
+	failed := 0
 	for i := 0; i < *triggers; i++ {
 		inv, err := p.Trigger(fn.Name(), mode, payload)
 		if err != nil {
-			return fmt.Errorf("trigger %d: %w", i, err)
+			if injector == nil {
+				return fmt.Errorf("trigger %d: %w", i, err)
+			}
+			// Under fault injection a failed trigger is a data point, not
+			// a reason to abort the run.
+			failed++
+			continue
 		}
 		inits.Record(inv.Init)
 		execs.Record(inv.Exec)
+	}
+	if failed == *triggers {
+		return fmt.Errorf("all %d triggers failed under fault spec %q", failed, *faults)
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "%d/%d triggers failed under fault spec %q\n", failed, *triggers, *faults)
 	}
 
 	initSum, err := inits.Summarize()
@@ -129,8 +152,12 @@ func replayTrace(w io.Writer, p *horse.Platform, fn horse.Function, mode horse.S
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "replayed %d invocations (%d skipped) from %s under mode=%v\n",
-		report.Invocations, report.Skipped, path, mode)
+	fmt.Fprintf(w, "replayed %d invocations (%d skipped, %d failed) from %s under mode=%v\n",
+		report.Invocations, report.Skipped, len(report.Failures), path, mode)
+	if report.Invocations == 0 {
+		fmt.Fprintln(w, "every trigger failed; no timing summaries")
+		return nil
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "phase\tmean\tp50\tp99\tmax")
 	fmt.Fprintf(tw, "init\t%v\t%v\t%v\t%v\n", report.Init.Mean, report.Init.P50, report.Init.P99, report.Init.Max)

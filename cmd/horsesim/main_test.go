@@ -60,3 +60,41 @@ func TestBadArguments(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultInjectedRunSurvives(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-function", "scan", "-mode", "horse", "-triggers", "50",
+		"-faults", "resume:rate=0.3", "-fault-seed", "7", "-fallback",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("fault-injected run aborted: %v", err)
+	}
+	if !strings.Contains(buf.String(), "init") {
+		t.Fatalf("no summary emitted:\n%s", buf.String())
+	}
+}
+
+func TestFaultInjectedRunsAreDeterministic(t *testing.T) {
+	args := []string{
+		"-function", "scan", "-mode", "horse", "-triggers", "40",
+		"-faults", "resume:rate=0.4,invoke:every=9", "-fault-seed", "11", "-fallback",
+	}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\nvs:\n%s", a.String(), b.String())
+	}
+}
+
+func TestBadFaultSpecRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-faults", "warp:rate=0.5"}, &buf); err == nil {
+		t.Fatal("unknown fault site accepted")
+	}
+}

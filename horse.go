@@ -39,6 +39,7 @@ import (
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/experiments"
 	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/trace"
@@ -357,6 +358,65 @@ func RunFig2Traced(vcpus []int, tel ExperimentTelemetry) ([]Fig2Point, error) {
 // RunFig3Traced is RunFig3 with telemetry sinks threaded into every run.
 func RunFig3Traced(vcpus []int, tel ExperimentTelemetry) ([]Fig3Point, error) {
 	return experiments.RunFig3Traced(vcpus, tel)
+}
+
+// Robustness (DESIGN.md §10): deterministic fault injection and the
+// trigger path's graceful-degradation machinery.
+type (
+	// FaultInjector raises seed-deterministic faults at named control-
+	// plane sites; thread one through PlatformOptions.Faults.
+	FaultInjector = faultinject.Injector
+	// FaultRule arms one injection site with one trigger (rate, nth, or
+	// every).
+	FaultRule = faultinject.Rule
+	// FaultSite names an injection point (create, pause, resume,
+	// restore, invoke, destroy).
+	FaultSite = faultinject.Site
+	// FaultStats counts one site's visits and injected faults.
+	FaultStats = faultinject.Stats
+	// FallbackConfig configures Trigger's degradation chain and the
+	// contention retry loop (PlatformOptions.Fallback).
+	FallbackConfig = faas.FallbackConfig
+	// TriggerFailure is one failed trigger recorded by a fault-surviving
+	// replay (ReplayReport.Failures).
+	TriggerFailure = faas.TriggerFailure
+)
+
+// Fault-injection sites.
+const (
+	FaultSiteCreate  = faultinject.SiteCreate
+	FaultSitePause   = faultinject.SitePause
+	FaultSiteResume  = faultinject.SiteResume
+	FaultSiteRestore = faultinject.SiteRestore
+	FaultSiteInvoke  = faultinject.SiteInvoke
+	FaultSiteDestroy = faultinject.SiteDestroy
+)
+
+// ErrFaultInjected is the sentinel every injected fault matches with
+// errors.Is.
+var ErrFaultInjected = faultinject.ErrInjected
+
+// NewFaultInjector builds an injector from a seed and explicit rules.
+func NewFaultInjector(seed int64, rules ...FaultRule) (*FaultInjector, error) {
+	return faultinject.New(seed, rules...)
+}
+
+// ParseFaultSpec parses the -faults flag syntax
+// ("resume:rate=0.05,pause:nth=3,invoke:every=100") into rules.
+func ParseFaultSpec(spec string) ([]FaultRule, error) { return faultinject.ParseSpec(spec) }
+
+// FaultInjectorFromSpec builds an injector directly from a spec string;
+// an empty spec yields a nil (inert) injector.
+func FaultInjectorFromSpec(seed int64, spec string) (*FaultInjector, error) {
+	return faultinject.FromSpec(seed, spec)
+}
+
+// DefaultFallbackChain returns the default degradation order, hottest
+// first: horse → warm → restore → cold.
+func DefaultFallbackChain() []StartMode {
+	out := make([]StartMode, len(faas.DefaultFallbackChain))
+	copy(out, faas.DefaultFallbackChain)
+	return out
 }
 
 // SynthesizeTrace generates a deterministic Azure-like invocation trace.

@@ -50,6 +50,7 @@ var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/vmm",
 	"github.com/horse-faas/horse/internal/core",
 	"github.com/horse-faas/horse/internal/faas",
+	"github.com/horse-faas/horse/internal/faultinject",
 	"github.com/horse-faas/horse/internal/runqueue",
 	"github.com/horse-faas/horse/internal/dvfs",
 	"github.com/horse-faas/horse/internal/pelt",

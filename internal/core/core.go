@@ -53,6 +53,12 @@ var (
 	ErrNotPrepared    = errors.New("core: sandbox has no prepared pause state")
 	ErrPolicyMismatch = errors.New("core: resume policy differs from pause policy")
 	ErrUnknownPolicy  = errors.New("core: unknown policy")
+	// ErrPoisoned marks a resume that failed after it started mutating
+	// run-queue state: the prepared structures have been dropped and the
+	// sandbox must be destroyed, not retried or re-pooled. Failures at
+	// resume entry (lock contention, injected faults) are NOT poisoned —
+	// the sandbox stays paused, prepared, and retryable.
+	ErrPoisoned = errors.New("core: resume failed mid-flight; sandbox state is suspect")
 )
 
 // pausedState is what a policy prepared at pause time.
@@ -197,17 +203,27 @@ func (e *Engine) Resume(sb *vmm.Sandbox, policy Policy) (vmm.ResumeReport, error
 
 	var (
 		report vmm.ResumeReport
+		began  bool
 		err    error
 	)
 	switch policy {
 	case Horse:
-		report, err = e.resumeHorse(sb, st)
+		report, began, err = e.resumeHorse(sb, st)
 	case PPSM:
-		report, err = e.resumePPSM(sb, st)
+		report, began, err = e.resumePPSM(sb, st)
 	case Coal:
-		report, err = e.resumeCoal(sb, st)
+		report, began, err = e.resumeCoal(sb, st)
 	}
 	if err != nil {
+		if began {
+			// The resume died after it started touching queue state;
+			// the prepared splice/coalesce structures can no longer be
+			// trusted, so drop them and tell the caller the sandbox is
+			// poisoned. Entry failures (began=false) leave everything
+			// intact for a retry.
+			e.dropState(sb, st)
+			return vmm.ResumeReport{}, fmt.Errorf("%w: %s: %w", ErrPoisoned, sb.ID(), err)
+		}
 		return vmm.ResumeReport{}, err
 	}
 	delete(e.states, sb.ID())
@@ -218,34 +234,37 @@ func (e *Engine) Resume(sb *vmm.Sandbox, policy Policy) (vmm.ResumeReport, error
 }
 
 // resumeHorse is the full fast path: pre-armed entry, O(1) P²SM splice,
-// one coalesced load update.
-func (e *Engine) resumeHorse(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, error) {
+// one coalesced load update. The returned began flag reports whether the
+// resume frame opened (and thus whether a failure may have mutated
+// queue state).
+func (e *Engine) resumeHorse(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, bool, error) {
 	ctx, err := e.h.BeginResume(sb, string(Horse), true)
 	if err != nil {
-		return vmm.ResumeReport{}, err
+		return vmm.ResumeReport{}, false, err
 	}
 	if err := e.spliceMergeVCPUs(ctx, st); err != nil {
 		ctx.Abort()
-		return vmm.ResumeReport{}, err
+		return vmm.ResumeReport{}, true, err
 	}
 	ctx.Charge(vmm.StepCoalesce, e.h.Costs().CoalescedUpdate)
 	st.queue.Load().PlaceCoalesced(st.coal)
 	if m := e.h.Metrics(); m != nil {
 		m.Counter("horse_coalesced_updates_total").Inc()
 	}
-	return ctx.Finish()
+	report, err := ctx.Finish()
+	return report, true, err
 }
 
 // resumePPSM uses the slow-path entry and the P²SM splice, but keeps the
 // vanilla per-vCPU locked load updates.
-func (e *Engine) resumePPSM(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, error) {
+func (e *Engine) resumePPSM(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, bool, error) {
 	ctx, err := e.h.BeginResume(sb, string(PPSM), false)
 	if err != nil {
-		return vmm.ResumeReport{}, err
+		return vmm.ResumeReport{}, false, err
 	}
 	if err := e.spliceMergeVCPUs(ctx, st); err != nil {
 		ctx.Abort()
-		return vmm.ResumeReport{}, err
+		return vmm.ResumeReport{}, true, err
 	}
 	costs := e.h.Costs()
 	load := st.queue.Load()
@@ -253,16 +272,17 @@ func (e *Engine) resumePPSM(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 		ctx.Charge(vmm.StepLoad, costs.LoadUpdate)
 		load.PlaceEntity()
 	}
-	return ctx.Finish()
+	report, err := ctx.Finish()
+	return report, true, err
 }
 
 // resumeCoal uses the slow-path entry and the vanilla sequential merge
 // (into the single assigned ull_runqueue), with the single coalesced load
 // update replacing the per-vCPU updates.
-func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, error) {
+func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport, bool, error) {
 	ctx, err := e.h.BeginResume(sb, string(Coal), false)
 	if err != nil {
-		return vmm.ResumeReport{}, err
+		return vmm.ResumeReport{}, false, err
 	}
 	costs := e.h.Costs()
 	for i, v := range sb.VCPUs() {
@@ -274,7 +294,7 @@ func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 		elem, _, ierr := st.queue.Insert(v)
 		if ierr != nil {
 			ctx.Abort()
-			return vmm.ResumeReport{}, ierr
+			return vmm.ResumeReport{}, true, ierr
 		}
 		ctx.Place(st.queue, elem)
 		e.accountSync(st.queue, 1)
@@ -284,7 +304,8 @@ func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 	if m := e.h.Metrics(); m != nil {
 		m.Counter("horse_coalesced_updates_total").Inc()
 	}
-	return ctx.Finish()
+	report, err := ctx.Finish()
+	return report, true, err
 }
 
 // spliceMergeVCPUs performs the P²SM merge of merge_vcpus into the

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/horse-faas/horse/internal/runqueue"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/vmm"
 )
@@ -371,4 +372,34 @@ func lookupStep(rr vmm.ResumeReport, label string) (simtime.Duration, bool) {
 		}
 	}
 	return 0, false
+}
+
+// rejectingObserver refuses every insert, forcing a resume to fail after
+// its frame opened — the mid-flight failure class Resume reports as
+// ErrPoisoned.
+type rejectingObserver struct{ err error }
+
+func (o rejectingObserver) TargetInserted(*runqueue.Element, int) error { return o.err }
+func (o rejectingObserver) TargetRemoved(int) error                     { return nil }
+
+func TestResumePoisonedAfterMidFlightFailure(t *testing.T) {
+	e := newEngine(t)
+	sb := ullSandbox(t, e, 2)
+	if _, err := e.Pause(sb, Coal); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	e.states[sb.ID()].queue.Observe(rejectingObserver{err: boom})
+	_, err := e.Resume(sb, Coal)
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("err = %v, want ErrPoisoned", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the mid-flight cause wrapped", err)
+	}
+	// The prepared state was dropped with the poisoning: a retry must
+	// report not-prepared instead of trusting the suspect structures.
+	if _, err := e.Resume(sb, Coal); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("retry err = %v, want ErrNotPrepared", err)
+	}
 }

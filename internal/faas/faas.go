@@ -18,8 +18,10 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/snapshot"
 	"github.com/horse-faas/horse/internal/telemetry"
@@ -65,6 +67,15 @@ var (
 	ErrNoWarmSandbox   = errors.New("faas: no warm sandbox available")
 	ErrUnknownMode     = errors.New("faas: unknown start mode")
 	ErrNotULLFunction  = errors.New("faas: HORSE mode requires a uLL deployment")
+	// ErrInvokeFailed wraps a function-body failure. The serving sandbox
+	// is destroyed — its guest state died mid-invocation — and the error
+	// is not degraded to a colder mode: re-running user code would
+	// double-execute it.
+	ErrInvokeFailed = errors.New("faas: function invocation failed")
+	// ErrRepoolFailed marks a sandbox that served its invocation but
+	// could not be re-paused into the warm pool and was destroyed. The
+	// invocation itself still succeeds.
+	ErrRepoolFailed = errors.New("faas: could not return sandbox to warm pool")
 )
 
 // SandboxSpec sizes the sandboxes of a deployment.
@@ -152,6 +163,9 @@ type Platform struct {
 
 	deployments map[string]*Deployment
 	reaped      uint64
+
+	faults   *faultinject.Injector
+	fallback FallbackConfig
 }
 
 // Options configures a Platform.
@@ -176,11 +190,22 @@ type Options struct {
 	// Metrics is handed to the hypervisor built when Hypervisor is nil;
 	// ignored otherwise.
 	Metrics *telemetry.Registry
+	// Faults is the deterministic fault injector threaded through both
+	// the hypervisor (create/destroy/pause/resume sites) and the trigger
+	// path (restore/invoke sites); nil injects nothing. When Hypervisor
+	// is nil the injector is handed to the built hypervisor; when a
+	// Hypervisor is supplied and Faults is nil, the hypervisor's own
+	// injector is adopted so both layers draw from one armed set.
+	Faults *faultinject.Injector
+	// Fallback configures graceful degradation of Trigger (DESIGN.md
+	// §10); the zero value disables it.
+	Fallback FallbackConfig
 }
 
 // New builds a platform.
 func New(opts Options) (*Platform, error) {
 	h := opts.Hypervisor
+	faults := opts.Faults
 	if h == nil {
 		var err error
 		h, err = vmm.New(vmm.Options{
@@ -189,10 +214,13 @@ func New(opts Options) (*Platform, error) {
 			Costs:     opts.Costs,
 			Tracer:    opts.Tracer,
 			Metrics:   opts.Metrics,
+			Faults:    faults,
 		})
 		if err != nil {
 			return nil, err
 		}
+	} else if faults == nil {
+		faults = h.Faults()
 	}
 	return &Platform{
 		h:           h,
@@ -200,6 +228,8 @@ func New(opts Options) (*Platform, error) {
 		snaps:       snapshot.NewStore(h.Clock(), opts.SnapshotCosts),
 		clock:       h.Clock(),
 		deployments: make(map[string]*Deployment),
+		faults:      faults,
+		fallback:    opts.Fallback,
 	}, nil
 }
 
@@ -211,6 +241,9 @@ func (p *Platform) Engine() *core.Engine { return p.engine }
 
 // Clock returns the platform's virtual clock.
 func (p *Platform) Clock() *simtime.Clock { return p.clock }
+
+// Faults returns the platform's fault injector (nil when none is armed).
+func (p *Platform) Faults() *faultinject.Injector { return p.faults }
 
 // Reaped returns how many idle sandboxes the keep-alive reaper destroyed.
 func (p *Platform) Reaped() uint64 { return p.reaped }
@@ -267,17 +300,24 @@ func (p *Platform) Provision(name string, n int, policy core.Policy) error {
 	if policy != core.Vanilla && !d.fn.Category().ULL() {
 		return fmt.Errorf("%w: %q is %v", ErrNotULLFunction, name, d.fn.Category())
 	}
+	// Sandboxes pooled before a mid-loop failure stay pooled, so the
+	// gauge must be refreshed on every exit path.
+	defer p.updatePoolGauge()
 	for i := 0; i < n; i++ {
 		sb, err := p.h.CreateSandbox(d.sandboxConfig(policy != core.Vanilla))
 		if err != nil {
 			return err
 		}
 		if _, err := p.engine.Pause(sb, policy); err != nil {
+			// The sandbox never reached the pool; destroy it rather than
+			// leaking it running.
+			if derr := p.h.DestroySandbox(sb); derr != nil {
+				err = errors.Join(err, derr)
+			}
 			return err
 		}
 		d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
 	}
-	p.updatePoolGauge()
 	return nil
 }
 
@@ -312,20 +352,58 @@ func (d *Deployment) takeWarm(policy core.Policy) (pooledSandbox, bool) {
 // Trigger invokes a function under the given start mode and returns the
 // invocation record. The returned Init and Exec durations are virtual
 // time; Output is the function's real result on the real payload.
+//
+// With fallback enabled (Options.Fallback) a failed sandbox acquisition
+// degrades along the configured mode chain — horse → warm → restore →
+// cold by default — retrying resume-lock contention in place with
+// exponential virtual-time backoff before each hop. The returned
+// Invocation.Mode is the mode that actually served. Function-body
+// failures (ErrInvokeFailed) never degrade: re-running user code on a
+// colder sandbox would double-execute it.
 func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocation, error) {
 	d, err := p.Deployment(name)
 	if err != nil {
 		return Invocation{}, err
 	}
-	span := p.h.Tracer().StartSpan("invocation")
-	defer span.End()
-	span.Attr("function", name)
-	span.Attr("mode", mode.String())
 	m := p.h.Metrics()
 	if m != nil {
 		m.Counter("faas_triggers_total", "mode", mode.String()).Inc()
 	}
 	d.recordTrigger(p.clock.Now())
+
+	chain := p.fallback.chainFrom(mode)
+	var lastErr error
+	for i, attempted := range chain {
+		if i > 0 {
+			p.countFallback(chain[i-1], attempted)
+		}
+		inv, aerr := p.attemptWithRetry(d, name, attempted, payload)
+		if aerr == nil {
+			if d.stats == nil {
+				d.stats = newStatsRecorder()
+			}
+			d.stats.record(inv)
+			return inv, nil
+		}
+		if errors.Is(aerr, ErrUnknownMode) {
+			// A caller error, not a runtime failure: neither counted nor
+			// degraded.
+			return Invocation{}, aerr
+		}
+		p.countTriggerFailure(attempted, aerr)
+		lastErr = aerr
+		if errors.Is(aerr, ErrInvokeFailed) {
+			break
+		}
+	}
+	return Invocation{}, lastErr
+}
+
+// attempt runs one trigger attempt under exactly one start mode. It owns
+// the per-attempt invocation span and leaves the warm pool and its gauge
+// consistent on every exit path: a retryably-failed resume re-pools the
+// still-paused sandbox, every other sandbox casualty is destroyed.
+func (p *Platform) attempt(d *Deployment, name string, mode StartMode, payload []byte) (Invocation, error) {
 	if mode == ModeRestore {
 		// Cutting the snapshot is a deploy-time operation; it must not
 		// count toward the trigger's initialization window.
@@ -333,10 +411,15 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 			return Invocation{}, err
 		}
 	}
+	span := p.h.Tracer().StartSpan("invocation")
+	defer span.End()
+	span.Attr("function", name)
+	span.Attr("mode", mode.String())
 	start := p.clock.Now()
 
 	var (
 		sb     *vmm.Sandbox
+		err    error
 		policy = core.Vanilla
 	)
 	switch mode {
@@ -347,20 +430,25 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 			return Invocation{}, err
 		}
 	case ModeRestore:
+		if err := p.faults.Check(faultinject.SiteRestore); err != nil {
+			return Invocation{}, err
+		}
 		sb, err = p.snaps.Restore(p.h, d.snapshot)
 		if err != nil {
 			return Invocation{}, err
 		}
 	case ModeWarm:
-		p.clock.Advance(p.h.Costs().WarmDispatch)
 		ps, ok := d.takeWarm(core.Vanilla)
 		p.recordPoolLookup(ok)
 		if !ok {
+			// No dispatch happened, so no dispatch time is charged: a
+			// miss must leave the clock untouched.
 			return Invocation{}, fmt.Errorf("%w: %q (warm)", ErrNoWarmSandbox, name)
 		}
+		p.clock.Advance(p.h.Costs().WarmDispatch)
 		sb = ps.sb
-		if _, err := p.engine.Resume(sb, core.Vanilla); err != nil {
-			return Invocation{}, err
+		if _, rerr := p.engine.Resume(sb, core.Vanilla); rerr != nil {
+			return Invocation{}, p.releaseFailedResume(d, ps, rerr)
 		}
 	case ModeHorse:
 		ps, ok := d.takeWarm(core.Horse)
@@ -370,8 +458,8 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 		}
 		sb = ps.sb
 		policy = core.Horse
-		if _, err := p.engine.Resume(sb, core.Horse); err != nil {
-			return Invocation{}, err
+		if _, rerr := p.engine.Resume(sb, core.Horse); rerr != nil {
+			return Invocation{}, p.releaseFailedResume(d, ps, rerr)
 		}
 	default:
 		return Invocation{}, fmt.Errorf("%w: %d", ErrUnknownMode, int(mode))
@@ -383,20 +471,25 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 	// Execute the real function logic and charge the calibrated virtual
 	// execution time.
 	output, invokeErr := d.fn.Invoke(payload)
+	if invokeErr == nil {
+		invokeErr = p.faults.Check(faultinject.SiteInvoke)
+	}
 	p.clock.Advance(d.fn.VirtualDuration())
 	end := p.clock.Now()
 	span.Step("exec", end.Sub(ready))
 
-	// Return the sandbox to the pool, re-armed for the same path.
-	if _, perr := p.engine.Pause(sb, policy); perr != nil {
-		return Invocation{}, perr
-	}
-	d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
-	p.updatePoolGauge()
-
 	if invokeErr != nil {
-		return Invocation{}, fmt.Errorf("faas: invoking %q: %w", name, invokeErr)
+		// The guest died mid-invocation; its state is suspect, so it must
+		// not poison the warm pool.
+		ierr := fmt.Errorf("%w: %q: %w", ErrInvokeFailed, name, invokeErr)
+		p.engine.Forget(sb)
+		if derr := p.h.DestroySandbox(sb); derr != nil {
+			ierr = errors.Join(ierr, derr)
+		}
+		p.updatePoolGauge()
+		return Invocation{}, ierr
 	}
+
 	inv := Invocation{
 		Function: name,
 		Mode:     mode,
@@ -405,40 +498,88 @@ func (p *Platform) Trigger(name string, mode StartMode, payload []byte) (Invocat
 		Output:   output,
 		Sandbox:  sb.ID(),
 	}
-	if d.stats == nil {
-		d.stats = newStatsRecorder()
+
+	// Return the sandbox to the pool, re-armed for the same path. A
+	// sandbox that served its invocation but cannot re-arm is destroyed;
+	// the invocation itself still succeeded, so only the loss is counted.
+	if _, perr := p.engine.Pause(sb, policy); perr != nil {
+		p.countTriggerFailure(mode, fmt.Errorf("%w: %q: %w", ErrRepoolFailed, name, perr))
+		p.engine.Forget(sb)
+		_ = p.h.DestroySandbox(sb)
+	} else {
+		d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
 	}
-	d.stats.record(inv)
+	p.updatePoolGauge()
 	return inv, nil
 }
 
+// releaseFailedResume puts a take-then-failed warm sandbox back where it
+// belongs: re-pooled when the resume failed on entry (the sandbox is
+// still paused and prepared — lock contention or an injected entry
+// fault), destroyed when the resume poisoned it.
+func (p *Platform) releaseFailedResume(d *Deployment, ps pooledSandbox, rerr error) error {
+	if resumeRetryable(rerr) {
+		d.pool = append(d.pool, ps)
+		p.updatePoolGauge()
+		return rerr
+	}
+	p.engine.Forget(ps.sb)
+	if derr := p.h.DestroySandbox(ps.sb); derr != nil {
+		rerr = errors.Join(rerr, derr)
+	}
+	p.updatePoolGauge()
+	return rerr
+}
+
 // Reap destroys pooled sandboxes idle past their deployment's keep-alive
-// window and returns how many were destroyed.
+// window and returns how many were destroyed. Deployments are visited in
+// name order so a fault-injected run reaps deterministically.
+//
+// A failed destroy stops the sweep but leaves every pool consistent: the
+// undestroyed sandbox and everything not yet visited stay pooled (still
+// paused, still prepared, still resumable), sandboxes already destroyed
+// are gone from their pool, and the reap counters and pool gauge reflect
+// exactly what happened.
 func (p *Platform) Reap() (int, error) {
 	reaped := 0
 	now := p.clock.Now()
-	for _, d := range p.deployments {
+	names := make([]string, 0, len(p.deployments))
+	for name := range p.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sweepErr error
+	for _, name := range names {
+		d := p.deployments[name]
 		window := d.keepAliveWindow()
+		// kept aliases the pool's prefix; at index i it holds at most i
+		// elements, so both appends below copy leftward and never clobber
+		// an unread entry.
 		kept := d.pool[:0]
-		for _, ps := range d.pool {
+		for i, ps := range d.pool {
 			if now.Sub(ps.pausedAt) > window {
-				p.engine.Forget(ps.sb)
 				if err := p.h.DestroySandbox(ps.sb); err != nil {
-					return reaped, err
+					kept = append(kept, d.pool[i:]...)
+					sweepErr = fmt.Errorf("faas: reaping %q: %w", name, err)
+					break
 				}
+				p.engine.Forget(ps.sb)
 				reaped++
 				continue
 			}
 			kept = append(kept, ps)
 		}
 		d.pool = kept
+		if sweepErr != nil {
+			break
+		}
 	}
 	p.reaped += uint64(reaped)
 	if m := p.h.Metrics(); m != nil && reaped > 0 {
 		m.Counter("faas_keepalive_expirations_total").Add(uint64(reaped))
 	}
 	p.updatePoolGauge()
-	return reaped, nil
+	return reaped, sweepErr
 }
 
 // recordPoolLookup counts a warm-pool hit or miss and refreshes the pool

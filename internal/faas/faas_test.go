@@ -229,20 +229,30 @@ func TestRepeatedHorseTriggersReuseSandbox(t *testing.T) {
 	}
 }
 
-func TestInvokeErrorStillRestoresPool(t *testing.T) {
+func TestInvokeErrorDestroysSandbox(t *testing.T) {
 	p := newPlatform(t)
 	registerScan(t, p)
 	if err := p.Provision("scan", 1, core.Horse); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Trigger("scan", ModeHorse, []byte("not json")); err == nil {
-		t.Fatal("bad payload accepted")
+	_, err := p.Trigger("scan", ModeHorse, []byte("not json"))
+	if !errors.Is(err, ErrInvokeFailed) {
+		t.Fatalf("err = %v, want ErrInvokeFailed", err)
 	}
+	// The sandbox's guest died mid-invocation: it must not be re-pooled
+	// (that would poison the next trigger) and must not linger on the
+	// hypervisor.
 	d, _ := p.Deployment("scan")
-	if d.WarmPoolSize() != 1 {
-		t.Fatalf("pool = %d after failed invoke, want 1", d.WarmPoolSize())
+	if d.WarmPoolSize() != 0 {
+		t.Fatalf("pool = %d after failed invoke, want 0 (sandbox destroyed)", d.WarmPoolSize())
 	}
-	// The pool entry is still usable.
+	if n := p.Hypervisor().Sandboxes(); n != 0 {
+		t.Fatalf("hypervisor sandboxes = %d, want 0", n)
+	}
+	// A fresh provision serves cleanly afterwards.
+	if err := p.Provision("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := p.Trigger("scan", ModeHorse, scanPayload(t)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,170 @@
+package faas
+
+import (
+	"errors"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faultinject"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/vmm"
+)
+
+// Graceful degradation of the trigger path (DESIGN.md §10).
+//
+// A warm-path failure on a production FaaS platform does not abort the
+// request — it falls off the warm cliff onto a slower start mode
+// ("How Low Can You Go?" quantifies exactly that cliff). The fallback
+// chain makes the cliff explicit, bounded, and measured: each trigger
+// walks the configured mode chain from its requested mode toward
+// colder modes, every hop is counted in faas_fallbacks_total{from,to},
+// and every failed attempt in faas_trigger_failures_total{site}.
+// Resume-lock contention — the one transient failure in the model — is
+// retried in place with exponential virtual-time backoff before the
+// chain advances, counted in faas_retries_total.
+
+// DefaultFallbackChain orders the start modes hottest to coldest, the
+// direction a degrading trigger walks.
+var DefaultFallbackChain = []StartMode{ModeHorse, ModeWarm, ModeRestore, ModeCold}
+
+// Fallback retry defaults.
+const (
+	// DefaultMaxRetries bounds in-place retries of a contended resume
+	// before the chain advances to the next mode.
+	DefaultMaxRetries = 3
+	// DefaultRetryBackoff is the first retry's virtual-time backoff;
+	// attempt k (0-based) waits DefaultRetryBackoff·2ᵏ. The base is of
+	// the same order as the vanilla resume it is waiting out.
+	DefaultRetryBackoff = 500 * simtime.Nanosecond
+)
+
+// FallbackConfig configures graceful degradation of Platform.Trigger.
+// The zero value disables it: a trigger attempts exactly its requested
+// mode and reports the first failure, the strict pre-degradation
+// behavior.
+type FallbackConfig struct {
+	// Enabled turns the chain and the retry loop on.
+	Enabled bool
+	// Chain lists start modes hottest-first; a trigger starts at its
+	// requested mode's position and walks right on failure. Empty
+	// selects DefaultFallbackChain. A requested mode absent from the
+	// chain is attempted alone, without fallback.
+	Chain []StartMode
+	// MaxRetries bounds in-place retries of a resume-lock-contended
+	// attempt (0 selects DefaultMaxRetries; negative disables retry).
+	MaxRetries int
+	// RetryBackoff is the first retry's virtual-time backoff, doubling
+	// each attempt (0 selects DefaultRetryBackoff).
+	RetryBackoff simtime.Duration
+}
+
+func (c FallbackConfig) maxRetries() int {
+	if !c.Enabled || c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+func (c FallbackConfig) retryBackoff() simtime.Duration {
+	if c.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return c.RetryBackoff
+}
+
+// chainFrom returns the mode sequence a trigger requested under mode
+// should attempt, in order.
+func (c FallbackConfig) chainFrom(mode StartMode) []StartMode {
+	if !c.Enabled {
+		return []StartMode{mode}
+	}
+	chain := c.Chain
+	if len(chain) == 0 {
+		chain = DefaultFallbackChain
+	}
+	for i, m := range chain {
+		if m == mode {
+			return chain[i:]
+		}
+	}
+	return []StartMode{mode}
+}
+
+// attemptWithRetry runs one chain position: the attempt itself plus the
+// bounded backoff retries of resume-lock contention. Only contention
+// (vmm.ErrResumeBusy, possibly injected) retries — an entry-failed
+// resume leaves the sandbox paused and re-pooled, so the retry sees the
+// same pool state plus the backoff's worth of virtual time.
+func (p *Platform) attemptWithRetry(d *Deployment, name string, mode StartMode, payload []byte) (Invocation, error) {
+	retries := p.fallback.maxRetries()
+	backoff := p.fallback.retryBackoff()
+	for attempt := 0; ; attempt++ {
+		inv, err := p.attempt(d, name, mode, payload)
+		if err == nil || attempt >= retries || !errors.Is(err, vmm.ErrResumeBusy) {
+			return inv, err
+		}
+		if m := p.h.Metrics(); m != nil {
+			m.Counter("faas_retries_total").Inc()
+		}
+		p.clock.Advance(backoff)
+		backoff *= 2
+	}
+}
+
+// countTriggerFailure records one failed attempt against its site.
+func (p *Platform) countTriggerFailure(mode StartMode, err error) {
+	m := p.h.Metrics()
+	if m == nil {
+		return
+	}
+	m.Counter("faas_trigger_failures_total", "site", failureSite(mode, err)).Inc()
+}
+
+// countFallback records one hop along the degradation chain.
+func (p *Platform) countFallback(from, to StartMode) {
+	if m := p.h.Metrics(); m != nil {
+		m.Counter("faas_fallbacks_total", "from", from.String(), "to", to.String()).Inc()
+	}
+}
+
+// failureSite classifies a failed attempt for the
+// faas_trigger_failures_total{site} counter. Injected faults carry
+// their site; everything else is inferred from sentinel errors and the
+// attempted mode.
+func failureSite(mode StartMode, err error) string {
+	var fe *faultinject.Error
+	if errors.As(err, &fe) {
+		return string(fe.Site)
+	}
+	switch {
+	case errors.Is(err, ErrInvokeFailed):
+		return string(faultinject.SiteInvoke)
+	case errors.Is(err, ErrNoWarmSandbox):
+		return "pool"
+	case errors.Is(err, ErrRepoolFailed):
+		return string(faultinject.SitePause)
+	}
+	switch mode {
+	case ModeCold:
+		return string(faultinject.SiteCreate)
+	case ModeRestore:
+		return string(faultinject.SiteRestore)
+	case ModeWarm, ModeHorse:
+		return string(faultinject.SiteResume)
+	}
+	return "other"
+}
+
+// resumeRetryable reports whether a failed resume left the sandbox
+// paused, prepared, and safe to return to the warm pool. Entry
+// failures (lock contention, faults injected before the resume frame
+// opens) are retryable; a poisoned resume — or anything else — is not,
+// and the sandbox must be destroyed.
+func resumeRetryable(err error) bool {
+	if errors.Is(err, core.ErrPoisoned) {
+		return false
+	}
+	return errors.Is(err, vmm.ErrResumeBusy) || errors.Is(err, faultinject.ErrInjected)
+}

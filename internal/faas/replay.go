@@ -14,16 +14,35 @@ import (
 // trace. Returning an error aborts the replay.
 type PayloadFunc func(function string) ([]byte, error)
 
+// TriggerFailure records one replay arrival whose trigger failed even
+// after the platform's retry and fallback machinery.
+type TriggerFailure struct {
+	// Function is the arrival's function name.
+	Function string
+	// At is the arrival's offset from the replay start.
+	At simtime.Duration
+	// Mode is the start mode the trigger requested.
+	Mode StartMode
+	// Err is the final error's text, kept as a string so reports stay
+	// comparable and serializable.
+	Err string
+}
+
 // ReplayReport summarizes one trace replay.
 type ReplayReport struct {
 	// Mode is the start mode every trigger used.
 	Mode StartMode
-	// Invocations is the number of triggers fired.
+	// Invocations is the number of triggers that succeeded.
 	Invocations int
 	// Skipped counts arrivals for functions not registered on the
 	// platform (real traces name thousands of functions; replays
 	// typically deploy a few).
 	Skipped int
+	// Failures lists triggers that failed, in arrival order. A failed
+	// trigger does not abort the replay — a fault-injected run records
+	// the casualty and keeps going — and failed arrivals contribute
+	// nothing to the timing summaries.
+	Failures []TriggerFailure
 	// Init, Exec and Latency summarize per-invocation timings; Latency
 	// includes the queueing delay behind earlier triggers on the
 	// platform's serial dispatch path.
@@ -76,7 +95,13 @@ func (p *Platform) Replay(arrivals []trace.Arrival, mode StartMode, payloads Pay
 		}
 		inv, err := p.Trigger(a.Function, mode, payload)
 		if err != nil {
-			return ReplayReport{}, fmt.Errorf("faas: replay trigger %q at %v: %w", a.Function, a.At, err)
+			report.Failures = append(report.Failures, TriggerFailure{
+				Function: a.Function,
+				At:       simtime.Duration(a.At),
+				Mode:     mode,
+				Err:      err.Error(),
+			})
+			continue
 		}
 		report.Invocations++
 		inits.Record(inv.Init)
@@ -84,6 +109,11 @@ func (p *Platform) Replay(arrivals []trace.Arrival, mode StartMode, payloads Pay
 		latencies.Record(p.clock.Now().Sub(arrivalAt))
 	}
 	if report.Invocations == 0 {
+		if len(report.Failures) > 0 {
+			// Every trigger failed; the report still carries the full
+			// casualty list and zero-valued summaries.
+			return report, nil
+		}
 		return ReplayReport{}, ErrEmptyReplay
 	}
 	var err error

@@ -99,9 +99,17 @@ func TestReplayErrors(t *testing.T) {
 	if _, err := p.Replay(only, ModeHorse, scanPayloads(t)); !errors.Is(err, ErrEmptyReplay) {
 		t.Fatalf("err = %v, want ErrEmptyReplay", err)
 	}
-	// Horse mode without provisioning fails mid-replay.
-	if _, err := p.Replay(replayArrivals(0), ModeHorse, scanPayloads(t)); err == nil {
-		t.Fatal("replay without pool accepted")
+	// Horse mode without provisioning: the trigger fails, but the replay
+	// carries on and reports the casualty instead of aborting.
+	report, err := p.Replay(replayArrivals(0), ModeHorse, scanPayloads(t))
+	if err != nil {
+		t.Fatalf("fault-surviving replay errored: %v", err)
+	}
+	if report.Invocations != 0 || len(report.Failures) != 1 {
+		t.Fatalf("report = %+v, want 0 invocations and 1 failure", report)
+	}
+	if f := report.Failures[0]; f.Function != "scan" || f.Mode != ModeHorse || f.Err == "" {
+		t.Fatalf("failure = %+v", f)
 	}
 	badPayload := func(string) ([]byte, error) { return nil, errors.New("boom") }
 	if err := p.Provision("scan", 1, core.Horse); err != nil {

@@ -50,6 +50,9 @@ var catalog = []InstrumentDef{
 	{"faas_warm_pool_misses_total", KindCounter, nil, "Warm-pool lookups that found the pool empty."},
 	{"faas_keepalive_expirations_total", KindCounter, nil, "Pooled sandboxes reaped by keep-alive expiry."},
 	{"faas_warm_pool_size", KindGauge, nil, "Paused sandboxes currently in the warm pool."},
+	{"faas_trigger_failures_total", KindCounter, []string{"site"}, "Failed trigger attempts per failure site."},
+	{"faas_fallbacks_total", KindCounter, []string{"from", "to"}, "Trigger fallbacks from one start mode to the next in the degradation chain."},
+	{"faas_retries_total", KindCounter, nil, "Virtual-time backoff retries of contended resumes in the trigger path."},
 }
 
 // Catalog returns the instrument catalog sorted by family name. The

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/horse-faas/horse/internal/credit2"
+	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/runqueue"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
@@ -69,6 +70,11 @@ type Hypervisor struct {
 	// instrumented unconditionally.
 	tracer  *telemetry.Tracer
 	metrics *telemetry.Registry
+
+	// faults is the optional deterministic fault injector; Check on a
+	// nil injector is a no-op, so the lifecycle entry points consult it
+	// unconditionally.
+	faults *faultinject.Injector
 }
 
 // Options configures a Hypervisor.
@@ -90,6 +96,10 @@ type Options struct {
 	// Metrics, if non-nil, receives lifecycle counters and the
 	// policy-labelled pause/resume duration histograms.
 	Metrics *telemetry.Registry
+	// Faults, if non-nil, injects deterministic failures at the
+	// lifecycle sites (create, pause, resume, destroy) for robustness
+	// testing (DESIGN.md §7, §10).
+	Faults *faultinject.Injector
 }
 
 // New constructs a hypervisor.
@@ -116,6 +126,7 @@ func New(opts Options) (*Hypervisor, error) {
 		ledger:    credit2.NewLedger(),
 		tracer:    opts.Tracer,
 		metrics:   opts.Metrics,
+		faults:    opts.Faults,
 	}
 	if h.tracer != nil {
 		h.tracer.AttachClock(h.clock)
@@ -139,6 +150,10 @@ func (h *Hypervisor) Tracer() *telemetry.Tracer { return h.tracer }
 // Metrics returns the attached metrics registry (possibly nil; all
 // registry operations are nil-safe).
 func (h *Hypervisor) Metrics() *telemetry.Registry { return h.metrics }
+
+// Faults returns the attached fault injector (possibly nil; Check on a
+// nil injector is a no-op).
+func (h *Hypervisor) Faults() *faultinject.Injector { return h.faults }
 
 // Costs returns the active cost model.
 func (h *Hypervisor) Costs() CostModel { return h.costs }
@@ -179,6 +194,9 @@ func (h *Hypervisor) CreateSandbox(cfg Config) (*Sandbox, error) {
 	if cfg.MemoryMB <= 0 {
 		return nil, fmt.Errorf("%w: memoryMB=%d", ErrBadConfig, cfg.MemoryMB)
 	}
+	if err := h.faults.Check(faultinject.SiteCreate); err != nil {
+		return nil, err
+	}
 	h.nextID++
 	sb := &Sandbox{
 		id:       fmt.Sprintf("sb%d", h.nextID),
@@ -211,6 +229,9 @@ func (h *Hypervisor) CreateSandbox(cfg Config) (*Sandbox, error) {
 func (h *Hypervisor) DestroySandbox(sb *Sandbox) error {
 	if _, ok := h.sandboxes[sb.id]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownSandbox, sb.id)
+	}
+	if err := h.faults.Check(faultinject.SiteDestroy); err != nil {
+		return err
 	}
 	for _, pl := range sb.placements {
 		if err := pl.Queue.Remove(pl.Element); err != nil {
@@ -311,8 +332,13 @@ type PauseContext struct {
 	done   bool
 }
 
-// BeginPause validates the transition and opens a pause frame.
+// BeginPause validates the transition and opens a pause frame. An
+// injected pause fault fires here, before any state changes, so a
+// failed pause always leaves the sandbox running and intact.
 func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, error) {
+	if err := h.faults.Check(faultinject.SitePause); err != nil {
+		return nil, err
+	}
 	if sb.state == StateStopped {
 		return nil, fmt.Errorf("%w: %s", ErrStopped, sb.id)
 	}
@@ -405,8 +431,13 @@ type ResumeContext struct {
 
 // BeginResume validates the transition, acquires the global resume lock,
 // and charges the entry steps: ①②③ for the normal path, or the pre-armed
-// fast-path entry for HORSE (fast=true).
+// fast-path entry for HORSE (fast=true). An injected resume fault fires
+// here, before the lock is taken or any cost is charged, so a failed
+// entry always leaves the sandbox paused and retryable.
 func (h *Hypervisor) BeginResume(sb *Sandbox, policy string, fast bool) (*ResumeContext, error) {
+	if err := h.faults.Check(faultinject.SiteResume); err != nil {
+		return nil, err
+	}
 	if h.resumeLock {
 		h.acct.LockWaits++
 		if h.metrics != nil {
