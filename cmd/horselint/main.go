@@ -11,12 +11,27 @@
 //	detrand    — no global math/rand functions or wall-clock seeds
 //	metricname — telemetry instrument names must be in the catalog
 //	costcharge — virtual-clock charges must use named cost constants
+//	lockcharge — no mutex held across virtual-clock charges or channel
+//	             operations in trigger-path packages (flow-sensitive)
+//	faulterr   — error results of fault-injectable calls must reach a
+//	             check or a return on every path (flow-sensitive)
+//	maporder   — no map-iteration-derived value in ordered output
+//	             without an intervening sort (flow-sensitive)
 //
 // A finding can be suppressed per line with
-// //horselint:allow-<analyzer> <reason>; the reason is mandatory and
-// bare or misspelled directives are themselves reported.
+// //horselint:allow-<analyzer> <reason>; the reason is mandatory, and
+// bare or misspelled directives are configuration errors: they are
+// aggregated, printed with positions, and exit status 2 — like parse
+// errors, which are likewise all reported in one run.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+// -write-baseline FILE records the current findings (keyed by analyzer,
+// file, and message, line numbers excluded so unrelated edits do not
+// churn the file); -baseline FILE then suppresses exactly that many
+// known findings per key, so new debt fails while legacy debt is paid
+// down incrementally. -timing FILE writes a BENCH-style JSON report of
+// the run's wall time for CI trend tracking.
+//
+// Exit status: 0 clean, 1 findings, 2 usage, load, or directive errors.
 package main
 
 import (
@@ -24,11 +39,18 @@ import (
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"github.com/horse-faas/horse/internal/analysis/costcharge"
 	"github.com/horse-faas/horse/internal/analysis/detrand"
+	"github.com/horse-faas/horse/internal/analysis/faulterr"
 	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/lockcharge"
+	"github.com/horse-faas/horse/internal/analysis/maporder"
 	"github.com/horse-faas/horse/internal/analysis/metricname"
 	"github.com/horse-faas/horse/internal/analysis/simclock"
 )
@@ -42,53 +64,161 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
-func main() {
-	os.Exit(run(os.Args[1:]))
+// baselineFile is the -baseline / -write-baseline JSON shape: counts of
+// accepted findings per key. Keys omit line numbers so edits elsewhere
+// in a file do not churn the baseline.
+type baselineFile struct {
+	Version  int            `json:"version"`
+	Findings map[string]int `json:"findings"`
 }
 
-func run(args []string) int {
+// timingReport is the -timing JSON shape, styled after the BENCH_*.json
+// baselines at the repository root.
+type timingReport struct {
+	Description string `json:"description"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Go          string `json:"go"`
+	Budget      struct {
+		MaxWallMS int64 `json:"max_wall_ms"`
+	} `json:"budget"`
+	Results struct {
+		Packages  int     `json:"packages"`
+		Files     int     `json:"files"`
+		Analyzers int     `json:"analyzers"`
+		Findings  int     `json:"findings"`
+		WallMS    float64 `json:"wall_ms"`
+	} `json:"results"`
+}
+
+// timingBudgetMS is the advisory wall-time ceiling recorded in -timing
+// reports: syntax-only analysis of this repository should stay well
+// under it on any CI machine.
+const timingBudgetMS = 30000
+
+func analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		simclock.Default(),
+		detrand.Default(),
+		metricname.Default(),
+		costcharge.Default(),
+		lockcharge.Default(),
+		faulterr.Default(),
+		maporder.Default(),
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("horselint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	baselinePath := fs.String("baseline", "", "suppress the known findings recorded in this baseline `file`")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline `file` and exit 0")
+	timingPath := fs.String("timing", "", "write a BENCH-style JSON wall-time report to this `file`")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: horselint [-json] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: horselint [-json] [-baseline file | -write-baseline file] [-timing file] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the HORSE invariant analyzers over package patterns (default ./...).\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *baselinePath != "" && *writeBaseline != "" {
+		fmt.Fprintln(stderr, "horselint: -baseline and -write-baseline are mutually exclusive")
+		return 2
+	}
 	patterns := fs.Args()
 
-	analyzers := []*lint.Analyzer{
-		simclock.Default(),
-		detrand.Default(),
-		metricname.Default(),
-		costcharge.Default(),
-	}
+	as := analyzers()
 	known := map[string]bool{}
-	for _, a := range analyzers {
+	for _, a := range as {
 		known[a.Name] = true
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+		fmt.Fprintf(stderr, "horselint: %v\n", err)
 		return 2
 	}
+	start := time.Now()
 	fset := token.NewFileSet()
 	pkgs, err := lint.Load(fset, cwd, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+		var le lint.LoadErrors
+		if ok := asLoadErrors(err, &le); ok {
+			for _, e := range le {
+				fmt.Fprintf(stderr, "horselint: %v\n", e)
+			}
+			fmt.Fprintf(stderr, "horselint: %d file(s) failed to parse\n", len(le))
+		} else {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+		}
 		return 2
 	}
 
-	diags, err := lint.Run(fset, pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+	// Malformed suppression directives are configuration errors, not
+	// findings: aggregate every one with its position and exit 2, so a
+	// broken escape hatch cannot be baselined away.
+	if bad := lint.CheckDirectives(pkgs, known); len(bad) > 0 {
+		for _, d := range bad {
+			fmt.Fprintln(stderr, d)
+		}
+		fmt.Fprintf(stderr, "horselint: %d malformed directive(s)\n", len(bad))
 		return 2
 	}
-	diags = append(diags, lint.CheckDirectives(pkgs, known)...)
+
+	diags, err := lint.Run(fset, pkgs, as)
+	if err != nil {
+		fmt.Fprintf(stderr, "horselint: %v\n", err)
+		return 2
+	}
 	lint.Sort(diags)
+	elapsed := time.Since(start)
+
+	if *timingPath != "" {
+		if err := writeTiming(*timingPath, pkgs, len(as), len(diags), elapsed); err != nil {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+	}
+
+	if *writeBaseline != "" {
+		bl := baselineFile{Version: 1, Findings: map[string]int{}}
+		for _, d := range diags {
+			bl.Findings[baselineKey(cwd, d)]++
+		}
+		if err := writeBaselineFile(*writeBaseline, bl); err != nil {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "horselint: wrote baseline of %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		bl, err := readBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+		remaining := bl.Findings
+		kept := diags[:0]
+		for _, d := range diags {
+			key := baselineKey(cwd, d)
+			if remaining[key] > 0 {
+				remaining[key]--
+				suppressed++
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
+	}
 
 	if *jsonOut {
 		findings := make([]finding, 0, len(diags))
@@ -101,22 +231,93 @@ func run(args []string) int {
 				Message:  d.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "horselint: %v\n", err)
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "horselint: %d baselined finding(s) suppressed\n", suppressed)
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "horselint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "horselint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		}
 		return 1
 	}
 	return 0
+}
+
+// asLoadErrors unwraps err into a lint.LoadErrors if it is one.
+func asLoadErrors(err error, out *lint.LoadErrors) bool {
+	le, ok := err.(lint.LoadErrors)
+	if ok {
+		*out = le
+	}
+	return ok
+}
+
+// baselineKey identifies a finding across runs: analyzer, repo-relative
+// slash path, and message.
+func baselineKey(root string, d lint.Diagnostic) string {
+	file := d.Position.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = rel
+	}
+	return d.Analyzer + "|" + filepath.ToSlash(file) + "|" + d.Message
+}
+
+func writeBaselineFile(path string, bl baselineFile) error {
+	// Marshal with sorted keys (encoding/json sorts map keys) so the
+	// file is byte-stable across runs.
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaselineFile(path string) (baselineFile, error) {
+	var bl baselineFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bl, err
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return bl, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if bl.Version != 1 {
+		return bl, fmt.Errorf("baseline %s: unsupported version %d", path, bl.Version)
+	}
+	if bl.Findings == nil {
+		bl.Findings = map[string]int{}
+	}
+	return bl, nil
+}
+
+func writeTiming(path string, pkgs []*lint.Package, analyzers, findings int, elapsed time.Duration) error {
+	var r timingReport
+	r.Description = "horselint wall time over the repository (syntax-only load + all analyzers). Regenerate with: go run ./cmd/horselint -timing BENCH_lint.json ./..."
+	r.GOOS = runtime.GOOS
+	r.GOARCH = runtime.GOARCH
+	r.Go = runtime.Version()
+	r.Budget.MaxWallMS = timingBudgetMS
+	r.Results.Packages = len(pkgs)
+	for _, p := range pkgs {
+		r.Results.Files += len(p.Files)
+	}
+	r.Results.Analyzers = analyzers
+	r.Results.Findings = findings
+	r.Results.WallMS = float64(elapsed.Microseconds()) / 1000
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,214 @@
+package cfg_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/cfg"
+)
+
+// dumpAll parses src (a file body without the package clause), builds
+// the CFG of every function, and renders the golden form.
+func dumpAll(t *testing.T, src string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var sb strings.Builder
+	for _, fn := range cfg.Functions(f) {
+		g := cfg.Build(fn.Name, fn.Node)
+		sb.WriteString(fn.Name + ":\n")
+		sb.WriteString(g.Dump(fset))
+	}
+	return sb.String()
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "short-circuit",
+			src: `func f(a, b, c bool) {
+	if a && (b || !c) {
+		g()
+	} else {
+		h()
+	}
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: a => b6 b5
+b3 if.then: g() => b4
+b4 if.done => b1
+b5 if.else: h() => b4
+b6 cond.and: b => b3 b7
+b7 cond.or: c => b5 b3
+`,
+		},
+		{
+			name: "defer",
+			src: `func f() {
+	defer cleanup()
+	work()
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: defer cleanup(); work() => b1
+`,
+		},
+		{
+			name: "goto",
+			src: `func f() {
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: i := 0 => b3
+b3 label.loop: i++; i < 3 => b4 b5
+b4 if.then => b3
+b5 if.done => b1
+`,
+		},
+		{
+			name: "labeled-break-continue",
+			src: `func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if i == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body => b3
+b3 label.outer: i := 0 => b4
+b4 for.head: i < n => b5 b6
+b5 for.body => b8
+b6 for.done => b1
+b7 for.post: i++ => b4
+b8 for.head => b9
+b9 for.body: i == 1 => b11 b12
+b10 for.done => b7
+b11 if.then => b7
+b12 if.done => b6
+`,
+		},
+		{
+			name: "switch-fallthrough",
+			src: `func f(x int) {
+	switch x {
+	case 0:
+		a()
+		fallthrough
+	case 1:
+		b()
+	default:
+		c()
+	}
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: x => b4 b5 b6
+b3 switch.done => b1
+b4 case: 0; a() => b5
+b5 case: 1; b() => b3
+b6 case: c() => b3
+`,
+		},
+		{
+			name: "range",
+			src: `func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: s := 0 => b3
+b3 range.head: _, v := range xs => b4 b5
+b4 range.body: s += v => b3
+b5 range.done: return s => b1
+`,
+		},
+		{
+			name: "select",
+			src: `func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		use(v)
+	case <-done:
+	}
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body => b4 b5
+b3 select.done => b1
+b4 select.comm: v := <-ch; use(v) => b3
+b5 select.comm: <-done => b3
+`,
+		},
+		{
+			name: "funclit-opaque",
+			src: `func f() {
+	g := func() { work() }
+	g()
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: g := func() { work() }; g() => b1
+f$1:
+b0 entry => b2
+b1 exit
+b2 body: work() => b1
+`,
+		},
+		{
+			name: "terminator",
+			src: `func f(x int) {
+	if x < 0 {
+		panic("neg")
+	}
+	work()
+}`,
+			want: `f:
+b0 entry => b2
+b1 exit
+b2 body: x < 0 => b3 b4
+b3 if.then: panic("neg") => b1
+b4 if.done: work() => b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := dumpAll(t, tc.src)
+			if got != tc.want {
+				t.Errorf("graph mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Package dataflow is the forward-dataflow engine the flow-sensitive
+// horselint analyzers run on top of internal/analysis/cfg. An analyzer
+// supplies a fact lattice (entry fact, join, equality) and a per-node
+// transfer function; Forward iterates a deterministic worklist to the
+// fixed point and returns each reachable block's in-fact, and Replay
+// re-walks the blocks with those facts so the analyzer can report at
+// the exact node where an invariant breaks.
+//
+// Contract (what keeps the iteration sound and terminating):
+//
+//   - Transfer and Join must treat their arguments as immutable and
+//     return fresh (or shared, unmodified) values. Facts are shared
+//     between blocks, so in-place mutation corrupts the fixed point.
+//   - Transfer must be monotone with respect to Join, and the fact
+//     lattice must have finite height for any one function (all
+//     current analyzers use sets keyed by identifiers appearing in the
+//     function, which bounds the height by the function's size).
+//   - Join is a may-union in every current analyzer: a fact holds
+//     after the join if it holds on any incoming path. That is the
+//     right polarity for "must not happen on any path" invariants.
+//
+// Determinism: the worklist is a FIFO seeded with the entry block, and
+// successors are visited in edge-creation order, so the fixed point and
+// the Replay visit order are identical across runs — a requirement for
+// horselint's byte-identical -json output (see cmd/horselint's
+// determinism test).
+package dataflow
+
+import (
+	"go/ast"
+
+	"github.com/horse-faas/horse/internal/analysis/cfg"
+)
+
+// Analysis defines one forward-dataflow problem over facts of type F.
+type Analysis[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Join combines the facts of two incoming paths.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable; the
+	// worklist stops requeueing a block once its in-fact stabilizes.
+	Equal(a, b F) bool
+	// Transfer produces the fact after executing node n with fact in.
+	Transfer(n ast.Node, in F) F
+}
+
+// Forward iterates the analysis to its fixed point and returns the
+// in-fact of every reachable block. Unreachable blocks (dead code after
+// terminators) have no entry in the result and are skipped by Replay.
+func Forward[F any](g *cfg.Graph, a Analysis[F]) map[*cfg.Block]F {
+	in := make(map[*cfg.Block]F, len(g.Blocks))
+	in[g.Entry] = a.Entry()
+	queued := make([]bool, len(g.Blocks))
+	queue := []*cfg.Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		queued[blk.Index] = false
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = a.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			cur, seen := in[succ]
+			next := out
+			if seen {
+				next = a.Join(cur, out)
+			}
+			if !seen || !a.Equal(cur, next) {
+				in[succ] = next
+				if !queued[succ.Index] {
+					queue = append(queue, succ)
+					queued[succ.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Replay walks every reachable block in index order, calling visit on
+// each node with the fact in force immediately before it executes.
+// Analyzers report diagnostics from visit — never from Transfer, which
+// runs an unbounded number of times during fixed-point iteration.
+func Replay[F any](g *cfg.Graph, a Analysis[F], in map[*cfg.Block]F, visit func(n ast.Node, before F)) {
+	for _, blk := range g.Blocks {
+		fact, ok := in[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			visit(n, fact)
+			fact = a.Transfer(n, fact)
+		}
+	}
+}
+
+// ExitFact returns the joined fact at the function's exit block, i.e.
+// the state holding on at least one path that leaves the function. The
+// second result is false when the exit is unreachable (a function that
+// cannot return, e.g. an infinite loop).
+func ExitFact[F any](g *cfg.Graph, in map[*cfg.Block]F) (F, bool) {
+	f, ok := in[g.Exit]
+	return f, ok
+}

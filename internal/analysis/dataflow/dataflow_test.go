@@ -1,0 +1,166 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/cfg"
+	"github.com/horse-faas/horse/internal/analysis/dataflow"
+)
+
+// assigned is a toy may-analysis: the set of identifier names that have
+// been assigned on at least one path. It exercises join (branch merge),
+// fixpoint iteration (loop back edges), and fact immutability.
+type assigned map[string]bool
+
+type analysis struct{}
+
+func (analysis) Entry() assigned { return assigned{} }
+
+func (analysis) Join(a, b assigned) assigned {
+	out := make(assigned, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (analysis) Equal(a, b assigned) bool { return reflect.DeepEqual(a, b) }
+
+func (analysis) Transfer(n ast.Node, in assigned) assigned {
+	s, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := make(assigned, len(in)+len(s.Lhs))
+	for k := range in {
+		out[k] = true
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func buildGraph(t *testing.T, src string) (*token.FileSet, *cfg.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fns := cfg.Functions(f)
+	if len(fns) != 1 {
+		t.Fatalf("want 1 function, got %d", len(fns))
+	}
+	return fset, cfg.Build(fns[0].Name, fns[0].Node)
+}
+
+func names(f assigned) []string {
+	out := make([]string, 0, len(f))
+	for k := range f {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestBranchJoin(t *testing.T) {
+	_, g := buildGraph(t, `func f(c bool) {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+	} else {
+		z := 3
+		_ = z
+	}
+	w := 4
+	_ = w
+}`)
+	in := dataflow.Forward[assigned](g, analysis{})
+	exit, ok := dataflow.ExitFact[assigned](g, in)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	want := []string{"_", "w", "x", "y", "z"}
+	if got := names(exit); !reflect.DeepEqual(got, want) {
+		t.Errorf("exit fact = %v, want %v", got, want)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	_, g := buildGraph(t, `func f(n int) {
+	for i := 0; i < n; i++ {
+		a := i
+		_ = a
+	}
+}`)
+	in := dataflow.Forward[assigned](g, analysis{})
+	exit, ok := dataflow.ExitFact[assigned](g, in)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	// The loop may execute zero times, but this is a may-analysis: the
+	// back edge's facts join into the head, so the body's assignments
+	// reach the exit.
+	want := []string{"_", "a", "i"}
+	if got := names(exit); !reflect.DeepEqual(got, want) {
+		t.Errorf("exit fact = %v, want %v", got, want)
+	}
+}
+
+func TestUnreachableExit(t *testing.T) {
+	_, g := buildGraph(t, `func f() {
+	for {
+	}
+}`)
+	in := dataflow.Forward[assigned](g, analysis{})
+	if _, ok := dataflow.ExitFact[assigned](g, in); ok {
+		t.Error("exit of an infinite loop should be unreachable")
+	}
+}
+
+// TestReplayOrder pins the deterministic visit order Replay guarantees:
+// block index order, nodes in execution order, with the fact in force
+// immediately before each node.
+func TestReplayOrder(t *testing.T) {
+	fset, g := buildGraph(t, `func f(c bool) {
+	x := 1
+	if c {
+		y := 2
+		_ = y
+	}
+	z := 3
+	_ = z
+}`)
+	in := dataflow.Forward[assigned](g, analysis{})
+	type step struct {
+		node   string
+		before []string
+	}
+	var got []step
+	dataflow.Replay[assigned](g, analysis{}, in, func(n ast.Node, before assigned) {
+		got = append(got, step{cfg.ExprString(fset, n), names(before)})
+	})
+	want := []step{
+		{"x := 1", []string{}},
+		{"c", []string{"x"}},
+		{"y := 2", []string{"x"}},
+		{"_ = y", []string{"x", "y"}},
+		{"z := 3", []string{"_", "x", "y"}},
+		{"_ = z", []string{"_", "x", "y", "z"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay sequence = %v, want %v", got, want)
+	}
+}

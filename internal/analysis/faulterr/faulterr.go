@@ -1,0 +1,390 @@
+// Package faulterr implements the flow-sensitive horselint analyzer
+// that keeps fault-injectable errors from being dropped.
+//
+// Every site the fault injector (internal/faultinject, DESIGN.md §10)
+// can fire at — sandbox create/destroy, pause/resume entry, restore and
+// invoke hooks — surfaces as the error result of a small set of calls.
+// PR 3's Reap bug was exactly a dropped one: a mid-sweep destroy error
+// silently discarded left the pool inconsistent. The analyzer tracks
+// the error result of each monitored call through the CFG and reports
+// when, on at least one path, it reaches neither a check (any read: a
+// condition, a wrap, an argument, a return) nor the function's caller —
+// including the half-checked branch shape (`if ok { check(err) }`) a
+// token-level lint cannot see.
+//
+// Three shapes are reported:
+//
+//   - a discarded result: a bare statement call, `_ =`, a trailing
+//     blank in a tuple assignment, or a deferred/`go` call;
+//   - an overwrite: the variable is reassigned while a previous
+//     monitored error may still be unread;
+//   - a leak: some path reaches function exit with the error unread.
+//     Reads inside the function's defer statements count — checking in
+//     a deferred closure is a legitimate pattern.
+//
+// The analysis is name-keyed and intraprocedural: a shadowed `err` in a
+// nested scope aliases its outer namesake, which can hide (never
+// invent) a finding. Test files are exempt, matching the suite.
+package faulterr
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"github.com/horse-faas/horse/internal/analysis/cfg"
+	"github.com/horse-faas/horse/internal/analysis/dataflow"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Name is the analyzer's directive name: //horselint:allow-faulterr.
+const Name = "faulterr"
+
+// DefaultCalls lists the monitored method names: every call whose error
+// result is a fault-injection site or sits directly on the trigger
+// path's failure surface.
+var DefaultCalls = []string{
+	"BeginPause",
+	"BeginResume",
+	"Check",
+	"CreateSandbox",
+	"DestroySandbox",
+	"Finish",
+	"Pause",
+	"Reap",
+	"RemoveVCPUs",
+	"Restore",
+	"Resume",
+	"Trigger",
+}
+
+// Default returns the analyzer configured for this repository: all
+// packages, the default call set.
+func Default() *lint.Analyzer { return New(nil) }
+
+// New returns a faulterr analyzer restricted to packages whose import
+// path matches one of the given prefixes (empty: all packages) and
+// monitoring the given method names (nil: DefaultCalls).
+func New(prefixes []string, calls ...string) *lint.Analyzer {
+	if len(calls) == 0 {
+		calls = DefaultCalls
+	}
+	monitored := make(map[string]bool, len(calls))
+	for _, c := range calls {
+		monitored[c] = true
+	}
+	return &lint.Analyzer{
+		Name: Name,
+		Doc:  "requires the error result of fault-injectable calls (create/destroy/pause/resume/restore/invoke sites) to reach a check or a return on every control-flow path",
+		Run: func(pass *lint.Pass) error {
+			if len(prefixes) > 0 && !lint.PathMatches(pass.Pkg.Path, prefixes) {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				if f.Test {
+					continue
+				}
+				for _, fn := range cfg.Functions(f.AST) {
+					checkFunc(pass, fn, monitored)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// def records one tracked, not-yet-read error binding.
+type def struct {
+	Call string
+	Pos  token.Pos
+}
+
+// facts maps variable name → pending definition for every monitored
+// error that may still be unread.
+type facts map[string]def
+
+type analysis struct {
+	monitored map[string]bool
+}
+
+func (a analysis) Entry() facts { return facts{} }
+
+func (a analysis) Join(x, y facts) facts {
+	if len(y) == 0 {
+		return x
+	}
+	if len(x) == 0 {
+		return y
+	}
+	out := make(facts, len(x)+len(y))
+	for k, d := range x {
+		out[k] = d
+	}
+	for k, d := range y {
+		if e, ok := out[k]; !ok || d.Pos < e.Pos {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+func (a analysis) Equal(x, y facts) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k, d := range x {
+		if e, ok := y[k]; !ok || d != e {
+			return false
+		}
+	}
+	return true
+}
+
+func (a analysis) Transfer(n ast.Node, in facts) facts {
+	out := in
+	mutated := false
+	mutate := func() {
+		if !mutated {
+			cp := make(facts, len(out))
+			for k, d := range out {
+				cp[k] = d
+			}
+			out = cp
+			mutated = true
+		}
+	}
+	for name := range readNames(n) {
+		if _, ok := out[name]; ok {
+			mutate()
+			delete(out, name)
+		}
+	}
+	for _, tgt := range assignTargets(n) {
+		if _, ok := out[tgt.name]; ok {
+			mutate()
+			delete(out, tgt.name)
+		}
+	}
+	if name, call, pos := a.monitoredDef(n); name != "" {
+		mutate()
+		out[name] = def{Call: call, Pos: pos}
+	}
+	return out
+}
+
+// monitoredDef returns the variable bound to a monitored call's error
+// result by n, or "" if n binds none.
+func (a analysis) monitoredDef(n ast.Node) (name, call string, pos token.Pos) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return "", "", token.NoPos
+		}
+		c := a.monitoredCall(s.Rhs[0])
+		if c == "" {
+			return "", "", token.NoPos
+		}
+		if id, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+			return id.Name, c, s.Pos()
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return "", "", token.NoPos
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 1 {
+				continue
+			}
+			c := a.monitoredCall(vs.Values[0])
+			if c == "" {
+				continue
+			}
+			if id := vs.Names[len(vs.Names)-1]; id.Name != "_" {
+				return id.Name, c, s.Pos()
+			}
+		}
+	}
+	return "", "", token.NoPos
+}
+
+// monitoredCall returns the monitored method name if e is a direct call
+// to one, else "".
+func (a analysis) monitoredCall(e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !a.monitored[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// discarded returns the monitored calls whose error result n throws
+// away without binding it to a variable.
+func (a analysis) discarded(n ast.Node) (calls []string, poss []token.Pos) {
+	switch s := n.(type) {
+	case *ast.CallExpr: // statement-level bare call
+		if c := a.monitoredCall(s); c != "" {
+			return []string{c}, []token.Pos{s.Pos()}
+		}
+	case *ast.DeferStmt:
+		if c := a.monitoredCall(s.Call); c != "" {
+			return []string{c}, []token.Pos{s.Pos()}
+		}
+	case *ast.GoStmt:
+		if c := a.monitoredCall(s.Call); c != "" {
+			return []string{c}, []token.Pos{s.Pos()}
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, nil
+		}
+		c := a.monitoredCall(s.Rhs[0])
+		if c == "" {
+			return nil, nil
+		}
+		if id, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident); !ok || id.Name == "_" {
+			return []string{c}, []token.Pos{s.Pos()}
+		}
+	}
+	return nil, nil
+}
+
+type target struct{ name string }
+
+// assignTargets returns the plain identifiers n writes (assignment LHS,
+// var-spec names, range key/value): a write that is not itself a
+// monitored def ends tracking of the previous value.
+func assignTargets(n ast.Node) []target {
+	var out []target
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			out = append(out, target{id.Name})
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			add(l)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						add(id)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			add(s.Key)
+		}
+		if s.Value != nil {
+			add(s.Value)
+		}
+	}
+	return out
+}
+
+// readNames collects the identifier names n reads. Assignment targets,
+// declared names, and selector field names are excluded; everything
+// else — conditions, call arguments, return values, composite literal
+// elements — counts as a read.
+func readNames(n ast.Node) map[string]bool {
+	excluded := map[*ast.Ident]bool{}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				excluded[id] = true
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						excluded[id] = true
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := s.Key.(*ast.Ident); ok {
+			excluded[id] = true
+		}
+		if id, ok := s.Value.(*ast.Ident); ok {
+			excluded[id] = true
+		}
+	}
+	reads := map[string]bool{}
+	cfg.Inspect(n, func(x ast.Node) bool {
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			excluded[sel.Sel] = true
+		}
+		if id, ok := x.(*ast.Ident); ok && !excluded[id] && id.Name != "_" {
+			reads[id.Name] = true
+		}
+		return true
+	})
+	return reads
+}
+
+func checkFunc(pass *lint.Pass, fn cfg.NamedFunc, monitored map[string]bool) {
+	g := cfg.Build(fn.Name, fn.Node)
+	a := analysis{monitored: monitored}
+	in := dataflow.Forward[facts](g, a)
+
+	// Identifiers read anywhere inside a defer statement (closure
+	// bodies included) count as checked at exit.
+	deferReads := map[string]bool{}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				deferReads[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	dataflow.Replay[facts](g, a, in, func(n ast.Node, before facts) {
+		if calls, poss := a.discarded(n); calls != nil {
+			for i, c := range calls {
+				pass.Reportf(poss[i],
+					"error result of %s is discarded; a fault-injectable site's error must reach a check or a return", c)
+			}
+		}
+		// Overwrite of a still-unread tracked error.
+		reads := readNames(n)
+		for _, tgt := range assignTargets(n) {
+			if d, ok := before[tgt.name]; ok && !reads[tgt.name] {
+				pass.Reportf(d.Pos,
+					"error from %s bound to %q is overwritten before being checked (reassigned at line %d)",
+					d.Call, tgt.name, pass.Fset.Position(n.Pos()).Line)
+			}
+		}
+	})
+
+	exit, ok := dataflow.ExitFact[facts](g, in)
+	if !ok {
+		return
+	}
+	names := make([]string, 0, len(exit))
+	for name := range exit {
+		if !deferReads[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := exit[name]
+		pass.Reportf(d.Pos,
+			"error from %s bound to %q does not reach a check or a return on every path", d.Call, name)
+	}
+}

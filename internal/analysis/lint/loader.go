@@ -96,8 +96,9 @@ func load(fset *token.FileSet, root, modRoot, modPath string, patterns []string)
 	sort.Strings(sorted)
 
 	var pkgs []*Package
+	var errs LoadErrors
 	for _, d := range sorted {
-		pkg, err := loadDir(fset, d, modRoot, modPath)
+		pkg, err := loadDir(fset, d, modRoot, modPath, &errs)
 		if err != nil {
 			return nil, err
 		}
@@ -105,8 +106,28 @@ func load(fset *token.FileSet, root, modRoot, modPath string, patterns []string)
 			pkgs = append(pkgs, pkg)
 		}
 	}
+	if len(errs) > 0 {
+		return nil, errs
+	}
 	return pkgs, nil
 }
+
+// LoadErrors aggregates every parse failure of one load: a tree with
+// several broken files reports them all (each with file:line:col
+// positions from the parser) in a single run instead of stopping at the
+// first. I/O and pattern errors remain fail-fast.
+type LoadErrors []error
+
+func (e LoadErrors) Error() string {
+	msgs := make([]string, len(e))
+	for i, err := range e {
+		msgs[i] = err.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Unwrap exposes the individual errors to errors.Is/As.
+func (e LoadErrors) Unwrap() []error { return []error(e) }
 
 // findModule walks upward from dir looking for a go.mod and returns the
 // module root and module path. Without one it returns dir and "".
@@ -131,8 +152,10 @@ func findModule(dir string) (root, path string) {
 }
 
 // loadDir parses every .go file of one directory into a Package, or
-// returns nil if the directory holds no Go files.
-func loadDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, error) {
+// returns nil if the directory holds no Go files. Parse failures are
+// appended to errs (the file is skipped) so the caller reports every
+// broken file at once.
+func loadDir(fset *token.FileSet, dir, modRoot, modPath string, errs *LoadErrors) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -147,7 +170,8 @@ func loadDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, error
 		full := filepath.Join(dir, name)
 		astf, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			*errs = append(*errs, fmt.Errorf("lint: %w", err))
+			continue
 		}
 		f := &File{
 			Name:    full,

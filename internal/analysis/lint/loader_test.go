@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+func write(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadAggregatesParseErrors pins the aggregation contract: every
+// broken file in the tree is reported with its position in a single
+// load, and parseable packages do not mask the failure.
+func TestLoadAggregatesParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "ok.go"), "package a\n\nfunc ok() {}\n")
+	write(t, filepath.Join(dir, "broken.go"), "package a\nfunc {\n")
+	write(t, filepath.Join(dir, "sub", "alsobroken.go"), "package b\nvar = 1\n")
+
+	fset := token.NewFileSet()
+	_, err := lint.Load(fset, dir)
+	if err == nil {
+		t.Fatal("Load of a tree with broken files should fail")
+	}
+	le, ok := err.(lint.LoadErrors)
+	if !ok {
+		t.Fatalf("error type = %T, want lint.LoadErrors", err)
+	}
+	if len(le) != 2 {
+		t.Fatalf("got %d errors, want 2: %v", len(le), le)
+	}
+	msg := le.Error()
+	for _, wantPos := range []string{"broken.go:2", "alsobroken.go:2"} {
+		if !strings.Contains(msg, wantPos) {
+			t.Errorf("aggregated message missing position %q:\n%s", wantPos, msg)
+		}
+	}
+}
+
+// TestRecursiveWalkSkipsTestdata pins the go-tool convention the
+// analysistest harness depends on: a recursive pattern never descends
+// into testdata, so a malformed directive planted there (analyzer
+// fixtures are full of deliberate violations) is invisible to a
+// repo-wide run — but an explicit pattern still loads it.
+func TestRecursiveWalkSkipsTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "ok.go"), "package a\n\nfunc ok() {}\n")
+	write(t, filepath.Join(dir, "testdata", "fixture", "f.go"),
+		"package fixture\n\n//horselint:allow-wallclock\nvar x int\n")
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (testdata skipped): %v", len(pkgs), pkgs)
+	}
+	if diags := lint.CheckDirectives(pkgs, map[string]bool{"wallclock": true}); len(diags) != 0 {
+		t.Errorf("directive inside testdata leaked into the recursive walk: %v", diags)
+	}
+
+	pkgs, err = lint.Load(fset, dir, "./testdata/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("explicit pattern: got %d packages, want 1", len(pkgs))
+	}
+	diags := lint.CheckDirectives(pkgs, map[string]bool{"wallclock": true})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("explicit pattern should surface the bare directive, got %v", diags)
+	}
+}

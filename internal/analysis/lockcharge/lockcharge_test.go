@@ -1,0 +1,12 @@
+package lockcharge_test
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+	"github.com/horse-faas/horse/internal/analysis/lockcharge"
+)
+
+func TestLockcharge(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcharge.New("sim"))
+}

@@ -1,0 +1,21 @@
+// Package outside is not a trigger-path package: the same shape that is
+// flagged inside the governed prefixes is legal here.
+package outside
+
+import "sync"
+
+type clock struct{}
+
+func (clock) Charge(label string, d int64) {}
+
+type host struct {
+	mu  sync.Mutex
+	clk clock
+}
+
+// HeldCharge would be a violation inside the governed packages.
+func (h *host) HeldCharge(cost int64) {
+	h.mu.Lock()
+	h.clk.Charge("splice", cost)
+	h.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+// Package sim exercises the lockcharge analyzer: mutexes must not be
+// held across virtual-clock charges or channel operations.
+package sim
+
+import "sync"
+
+type clock struct{}
+
+func (clock) Advance(d int64)              {}
+func (clock) Charge(label string, d int64) {}
+
+type host struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	clk   clock
+	ch    chan int
+	ready chan struct{}
+}
+
+// StraightLine holds the lock across a charge: the simplest violation.
+func (h *host) StraightLine(cost int64) {
+	h.mu.Lock()
+	h.clk.Charge("splice", cost) // want `virtual-clock Charge executes while lock h\.mu .* may be held`
+	h.mu.Unlock()
+}
+
+// ReleasedFirst is the idiom the invariant wants: unlock, then charge.
+func (h *host) ReleasedFirst(cost int64) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.clk.Charge("splice", cost)
+}
+
+// OneArmReleases releases on only one branch arm — the multi-path case
+// a token-level lint cannot see. The charge after the if is flagged
+// because the lock may still be held on the fallthrough path.
+func (h *host) OneArmReleases(fast bool, cost int64) {
+	h.mu.Lock()
+	if fast {
+		h.mu.Unlock()
+	}
+	h.clk.Charge("splice", cost) // want `virtual-clock Charge executes while lock h\.mu .* may be held`
+	if !fast {
+		h.mu.Unlock()
+	}
+}
+
+// BothArmsRelease releases on every path before the charge: clean.
+func (h *host) BothArmsRelease(fast bool, cost int64) {
+	h.mu.Lock()
+	if fast {
+		h.mu.Unlock()
+	} else {
+		h.mu.Unlock()
+	}
+	h.clk.Charge("splice", cost)
+}
+
+// DeferredUnlock keeps the lock to function exit, so the charge runs
+// under it.
+func (h *host) DeferredUnlock(cost int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clk.Advance(cost) // want `virtual-clock Advance executes while lock h\.mu .* may be held`
+}
+
+// ReadLockSend holds a read lock across a channel send.
+func (h *host) ReadLockSend(v int) {
+	h.rw.RLock()
+	h.ch <- v // want `channel send executes while lock h\.rw .* may be held`
+	h.rw.RUnlock()
+}
+
+// ReceiveUnderLock blocks on a receive with the mutex held.
+func (h *host) ReceiveUnderLock() int {
+	h.mu.Lock()
+	v := <-h.ch // want `channel receive executes while lock h\.mu .* may be held`
+	h.mu.Unlock()
+	return v
+}
+
+// SelectUnderLock blocks in a select with the mutex held; each comm
+// clause is its own violation site.
+func (h *host) SelectUnderLock() {
+	h.mu.Lock()
+	select {
+	case <-h.ready: // want `channel receive executes while lock h\.mu .* may be held`
+	case h.ch <- 1: // want `channel send executes while lock h\.mu .* may be held`
+	}
+	h.mu.Unlock()
+}
+
+// LoopCarried: the lock acquired inside the loop body is still held
+// when the back edge re-enters the charge.
+func (h *host) LoopCarried(n int, cost int64) {
+	for i := 0; i < n; i++ {
+		h.clk.Charge("step", cost) // want `virtual-clock Charge executes while lock h\.mu .* may be held`
+		h.mu.Lock()
+	}
+	h.mu.Unlock()
+}
+
+// Allowed shows the escape hatch: the reason is mandatory.
+func (h *host) Allowed(cost int64) {
+	h.mu.Lock()
+	//horselint:allow-lockcharge calibration path measured with lock held on purpose
+	h.clk.Charge("splice", cost)
+	h.mu.Unlock()
+}
+
+// ChannelAfterRelease is clean: the send happens after the unlock.
+func (h *host) ChannelAfterRelease(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- v
+}

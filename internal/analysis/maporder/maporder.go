@@ -1,0 +1,600 @@
+// Package maporder implements the flow-sensitive horselint analyzer
+// that keeps Go's randomized map iteration order out of ordered output.
+//
+// The repository's determinism tests assert byte-identical traces,
+// CSVs, and metric exports for a given seed (DESIGN.md §9); a value
+// that flows from `range someMap` into an emission call or an ordered
+// accumulation re-randomizes that output on every run. The analyzer
+// taints the key/value variables of map ranges (and anything assigned
+// from them), tracks slices that accumulate tainted values, and
+// reports when
+//
+//   - a tainted value is passed to an emission call (Fprintf/Write/…)
+//     or used in a telemetry instrument lookup (Counter, Gauge,
+//     Histogram, InstrumentName — a label set minted in map order), or
+//   - a slice appended to in map order is returned or handed to a
+//     non-sort call before an intervening sort.* / slices.* call.
+//
+// A sort call on the slice (sort.Strings(names), sort.Slice(out, …),
+// slices.Sort(ids)) clears it — the idiom every existing call site in
+// this repository already follows. Ranging over a still-unsorted slice
+// re-taints its element variables, so laundering map order through an
+// intermediate slice does not evade the analyzer.
+//
+// Map detection is syntactic and package-local: map-typed locals,
+// parameters, composite literals, `make(map…)`, package-level vars,
+// named map types, and fields of package structs are recognized;
+// map-typed values imported from other packages are not (documented
+// incompleteness, like the rest of the suite). Compound assignments
+// (`sum += v`) deliberately do not propagate taint: order-insensitive
+// reductions over a map are the dominant legitimate pattern. Writes
+// into other maps are order-insensitive and are not sinks. Test files
+// are exempt.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/horse-faas/horse/internal/analysis/cfg"
+	"github.com/horse-faas/horse/internal/analysis/dataflow"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Name is the analyzer's directive name: //horselint:allow-maporder.
+const Name = "maporder"
+
+// emitCalls are method/function names that put bytes on an output
+// stream or rows in a table.
+var emitCalls = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Write": true, "WriteString": true, "WriteAll": true, "WriteRow": true,
+	"Emit": true,
+}
+
+// metricCalls are the telemetry lookups whose label sets must not be
+// minted in map order (the §8 catalog's instrument surface).
+var metricCalls = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"HistogramShaped": true, "InstrumentName": true,
+}
+
+// sortPackages are selector bases whose calls establish a total order.
+var sortPackages = map[string]bool{"sort": true, "slices": true}
+
+// Default returns the analyzer configured for this repository: all
+// packages.
+func Default() *lint.Analyzer { return New() }
+
+// New returns a maporder analyzer restricted to packages whose import
+// path matches one of the given prefixes (empty: all packages).
+func New(prefixes ...string) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: Name,
+		Doc:  "forbids values derived from map iteration from reaching ordered output (trace/CSV emission, metric label sets, returned slices) without an intervening sort",
+		Run: func(pass *lint.Pass) error {
+			if len(prefixes) > 0 && !lint.PathMatches(pass.Pkg.Path, prefixes) {
+				return nil
+			}
+			maps := collectPackageMaps(pass.Pkg)
+			for _, f := range pass.Pkg.Files {
+				if f.Test {
+					continue
+				}
+				for _, fn := range cfg.Functions(f.AST) {
+					checkFunc(pass, fn, maps)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// pkgMaps is the package-local symbol table of syntactically map-typed
+// names.
+type pkgMaps struct {
+	// typeNames are named types declared over a map.
+	typeNames map[string]bool
+	// fields are struct field names with a map (or named-map) type.
+	fields map[string]bool
+	// globals are package-level map-typed variables.
+	globals map[string]bool
+}
+
+func collectPackageMaps(pkg *lint.Package) *pkgMaps {
+	m := &pkgMaps{
+		typeNames: map[string]bool{},
+		fields:    map[string]bool{},
+		globals:   map[string]bool{},
+	}
+	// Two passes: named map types first so fields declared with them
+	// resolve regardless of file order.
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if _, ok := ts.Type.(*ast.MapType); ok {
+					m.typeNames[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						if m.isMapType(fld.Type) {
+							for _, name := range fld.Names {
+								m.fields[name.Name] = true
+							}
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Type != nil && m.isMapType(vs.Type) {
+						for _, name := range vs.Names {
+							m.globals[name.Name] = true
+						}
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && m.isMapValue(vs.Values[i]) {
+							m.globals[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// isMapType reports whether t is syntactically a map type or a named
+// package-local map type.
+func (m *pkgMaps) isMapType(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.Ident:
+		return m.typeNames[t.Name]
+	case *ast.StarExpr:
+		return m.isMapType(t.X)
+	}
+	return false
+}
+
+// isMapValue reports whether e evidently constructs a map: a map
+// composite literal or make(map…).
+func (m *pkgMaps) isMapValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return e.Type != nil && m.isMapType(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return m.isMapType(e.Args[0])
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return m.isMapValue(e.X)
+		}
+	}
+	return false
+}
+
+// fnMaps extends the package table with one function's map-typed
+// parameters and locals (collected flow-insensitively up front; a name
+// declared as a map anywhere in the function counts everywhere, which
+// can only widen the seed set).
+type fnMaps struct {
+	pkg    *pkgMaps
+	locals map[string]bool
+}
+
+func collectFnMaps(fn ast.Node, pkg *pkgMaps) *fnMaps {
+	fm := &fnMaps{pkg: pkg, locals: map[string]bool{}}
+	var ft *ast.FuncType
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft, body = f.Type, f.Body
+		if f.Recv != nil {
+			for _, fld := range f.Recv.List {
+				if pkg.isMapType(fld.Type) {
+					for _, name := range fld.Names {
+						fm.locals[name.Name] = true
+					}
+				}
+			}
+		}
+	case *ast.FuncLit:
+		ft, body = f.Type, f.Body
+	}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			if pkg.isMapType(fld.Type) {
+				for _, name := range fld.Names {
+					fm.locals[name.Name] = true
+				}
+			}
+		}
+	}
+	addFields(ft.Params)
+	addFields(ft.Results)
+	if body == nil {
+		return fm
+	}
+	cfg.Inspect(body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if i < len(s.Rhs) && fm.pkg.isMapValue(s.Rhs[i]) {
+					fm.locals[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if s.Type != nil && fm.pkg.isMapType(s.Type) {
+				for _, name := range s.Names {
+					fm.locals[name.Name] = true
+				}
+			}
+			for i, name := range s.Names {
+				if i < len(s.Values) && fm.pkg.isMapValue(s.Values[i]) {
+					fm.locals[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return fm
+}
+
+// isMapExpr reports whether e evidently evaluates to a map.
+func (fm *fnMaps) isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return fm.locals[e.Name] || fm.pkg.globals[e.Name]
+	case *ast.SelectorExpr:
+		return fm.pkg.fields[e.Sel.Name]
+	case *ast.ParenExpr:
+		return fm.isMapExpr(e.X)
+	case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr:
+		return fm.pkg.isMapValue(e)
+	}
+	return false
+}
+
+// fact is the dataflow state: tainted scalar names and unsorted
+// accumulator keys (ExprString of the append target), each with the
+// position that introduced them.
+type fact struct {
+	tainted  map[string]token.Pos
+	unsorted map[string]token.Pos
+}
+
+func (f fact) clone() fact {
+	nf := fact{
+		tainted:  make(map[string]token.Pos, len(f.tainted)),
+		unsorted: make(map[string]token.Pos, len(f.unsorted)),
+	}
+	for k, p := range f.tainted {
+		nf.tainted[k] = p
+	}
+	for k, p := range f.unsorted {
+		nf.unsorted[k] = p
+	}
+	return nf
+}
+
+type analysis struct {
+	fset *token.FileSet
+	fm   *fnMaps
+}
+
+func (a *analysis) Entry() fact {
+	return fact{tainted: map[string]token.Pos{}, unsorted: map[string]token.Pos{}}
+}
+
+func (a *analysis) Join(x, y fact) fact {
+	if len(y.tainted) == 0 && len(y.unsorted) == 0 {
+		return x
+	}
+	if len(x.tainted) == 0 && len(x.unsorted) == 0 {
+		return y
+	}
+	out := x.clone()
+	for k, p := range y.tainted {
+		if q, ok := out.tainted[k]; !ok || p < q {
+			out.tainted[k] = p
+		}
+	}
+	for k, p := range y.unsorted {
+		if q, ok := out.unsorted[k]; !ok || p < q {
+			out.unsorted[k] = p
+		}
+	}
+	return out
+}
+
+func (a *analysis) Equal(x, y fact) bool {
+	if len(x.tainted) != len(y.tainted) || len(x.unsorted) != len(y.unsorted) {
+		return false
+	}
+	for k, p := range x.tainted {
+		if q, ok := y.tainted[k]; !ok || p != q {
+			return false
+		}
+	}
+	for k, p := range x.unsorted {
+		if q, ok := y.unsorted[k]; !ok || p != q {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analysis) Transfer(n ast.Node, in fact) fact {
+	out := in
+	mutated := false
+	mutate := func() {
+		if !mutated {
+			out = out.clone()
+			mutated = true
+		}
+	}
+
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		overMap := a.fm.isMapExpr(s.X)
+		overUnsorted := false
+		if key := exprKey(a.fset, s.X); key != "" {
+			_, overUnsorted = in.unsorted[key]
+		}
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok || id == nil || id.Name == "_" {
+				continue
+			}
+			mutate()
+			if overMap || overUnsorted {
+				out.tainted[id.Name] = s.Pos()
+			} else {
+				delete(out.tainted, id.Name)
+			}
+		}
+		return out
+
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment: no propagation (order-insensitive
+			// reductions are the dominant pattern).
+			return out
+		}
+		// dst = append(dst, …tainted…) accumulates map order.
+		if len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(call) {
+				dst := exprKey(a.fset, s.Lhs[len(s.Lhs)-1])
+				argTainted := false
+				for _, arg := range call.Args[1:] {
+					if a.exprTainted(arg, in) {
+						argTainted = true
+						break
+					}
+				}
+				if dst != "" && argTainted {
+					mutate()
+					out.unsorted[dst] = s.Pos()
+				}
+				return out
+			}
+		}
+		rhsTainted := make([]bool, len(s.Rhs))
+		for i, r := range s.Rhs {
+			rhsTainted[i] = a.exprTainted(r, in)
+		}
+		for i, l := range s.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			t := false
+			if len(s.Rhs) == len(s.Lhs) {
+				t = rhsTainted[i]
+			} else if len(s.Rhs) == 1 {
+				t = rhsTainted[0]
+			}
+			mutate()
+			if t {
+				out.tainted[id.Name] = s.Pos()
+			} else {
+				delete(out.tainted, id.Name)
+				delete(out.unsorted, id.Name)
+			}
+		}
+		return out
+	}
+
+	// A sort.* / slices.* call clears every argument it orders.
+	cfg.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok && sortPackages[base.Name] {
+			for _, arg := range call.Args {
+				if key := exprKey(a.fset, arg); key != "" {
+					if _, unsorted := out.unsorted[key]; unsorted {
+						mutate()
+						delete(out.unsorted, key)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprTainted reports whether e contains a tainted identifier or an
+// unsorted accumulator.
+func (a *analysis) exprTainted(e ast.Expr, f fact) bool {
+	found := false
+	cfg.Inspect(e, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.Ident:
+			if _, ok := f.tainted[v.Name]; ok {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			// Do not treat field names as reads of same-named locals.
+			if _, ok := f.tainted[v.Sel.Name]; !ok {
+				return true
+			}
+			// Only the selector base can carry local taint.
+			if a.exprTainted(v.X, f) {
+				found = true
+			}
+			return false
+		}
+		if key := exprKey(a.fset, x); key != "" {
+			if _, ok := f.unsorted[key]; ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprKey returns the stable key for an lvalue-ish expression (ident or
+// selector chain), or "" for anything else.
+func exprKey(fset *token.FileSet, n ast.Node) string {
+	switch e := n.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(fset, e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append" && len(call.Args) > 0
+}
+
+// neutralCalls may receive an unsorted slice without fixing or leaking
+// its order.
+var neutralCalls = map[string]bool{
+	"append": true, "len": true, "cap": true, "copy": true, "delete": true,
+	"make": true, "new": true,
+}
+
+func checkFunc(pass *lint.Pass, fn cfg.NamedFunc, maps *pkgMaps) {
+	fm := collectFnMaps(fn.Node, maps)
+	g := cfg.Build(fn.Name, fn.Node)
+	a := &analysis{fset: pass.Fset, fm: fm}
+	in := dataflow.Forward[fact](g, a)
+	dataflow.Replay[fact](g, a, in, func(n ast.Node, before fact) {
+		a.report(pass, n, before)
+	})
+}
+
+func (a *analysis) report(pass *lint.Pass, n ast.Node, before fact) {
+	if len(before.tainted) == 0 && len(before.unsorted) == 0 {
+		return
+	}
+	// Returning an unsorted accumulator leaks map order to the caller.
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		for _, r := range ret.Results {
+			if key := exprKey(a.fset, r); key != "" {
+				if pos, ok := before.unsorted[key]; ok {
+					pass.Reportf(r.Pos(),
+						"slice %s accumulates map-range values (append at line %d) and is returned without a sort; map iteration order is nondeterministic",
+						key, pass.Fset.Position(pos).Line)
+				}
+			}
+		}
+		return
+	}
+	cfg.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, base := callName(call)
+		if name == "" || neutralCalls[name] || sortPackages[base] {
+			return true
+		}
+		emitting := emitCalls[name]
+		metric := metricCalls[name]
+		for _, arg := range call.Args {
+			if key := exprKey(a.fset, arg); key != "" {
+				if pos, ok := before.unsorted[key]; ok {
+					pass.Reportf(arg.Pos(),
+						"slice %s accumulates map-range values (append at line %d) and is passed to %s without a sort; map iteration order is nondeterministic",
+						key, pass.Fset.Position(pos).Line, name)
+					continue
+				}
+			}
+			if (emitting || metric) && a.exprTainted(arg, before) {
+				kind := "ordered output"
+				if metric {
+					kind = "a telemetry instrument lookup"
+				}
+				pass.Reportf(arg.Pos(),
+					"value derived from map iteration flows into %s via %s; sort the keys first (map iteration order is nondeterministic)",
+					kind, name)
+			}
+		}
+		return true
+	})
+}
+
+// callName returns a call's method/function name and, for selector
+// calls, the base identifier ("sort" in sort.Strings).
+func callName(call *ast.CallExpr) (name, base string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, ""
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return fun.Sel.Name, id.Name
+		}
+		return fun.Sel.Name, ""
+	}
+	return "", ""
+}

@@ -42,7 +42,10 @@ var forbidden = map[string]bool{
 }
 
 // DefaultSimPackages is the production list of simulation package paths
-// the invariant governs.
+// the invariant governs. The list must cover every internal package
+// whose production code imports internal/simtime — asserted by
+// TestSimPackagesCoverSimtimeImporters, so a new simulation package
+// cannot silently escape the wall-clock invariant.
 var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/simtime",
 	"github.com/horse-faas/horse/internal/eventsim",
@@ -58,6 +61,9 @@ var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/snapshot",
 	"github.com/horse-faas/horse/internal/experiments",
 	"github.com/horse-faas/horse/internal/telemetry",
+	"github.com/horse-faas/horse/internal/metrics",
+	"github.com/horse-faas/horse/internal/trace",
+	"github.com/horse-faas/horse/internal/workload",
 }
 
 // Default returns the analyzer configured for this repository.

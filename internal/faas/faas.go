@@ -505,7 +505,12 @@ func (p *Platform) attempt(d *Deployment, name string, mode StartMode, payload [
 	if _, perr := p.engine.Pause(sb, policy); perr != nil {
 		p.countTriggerFailure(mode, fmt.Errorf("%w: %q: %w", ErrRepoolFailed, name, perr))
 		p.engine.Forget(sb)
-		_ = p.h.DestroySandbox(sb)
+		if derr := p.h.DestroySandbox(sb); derr != nil {
+			// The sandbox is already forgotten and off the pool either
+			// way; a destroy failure on top of the re-pool failure is a
+			// second loss on the same trigger, counted like the first.
+			p.countTriggerFailure(mode, fmt.Errorf("%w: %q: %w", ErrRepoolFailed, name, derr))
+		}
 	} else {
 		d.pool = append(d.pool, pooledSandbox{sb: sb, policy: policy, pausedAt: p.clock.Now()})
 	}

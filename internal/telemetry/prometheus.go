@@ -34,6 +34,7 @@ func toScalar(m map[string]uint64) []scalarSample {
 	for k, v := range m {
 		out = append(out, scalarSample{k, fmt.Sprintf("%d", v)})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
@@ -42,6 +43,7 @@ func gaugesToScalar(m map[string]int64) []scalarSample {
 	for k, v := range m {
 		out = append(out, scalarSample{k, fmt.Sprintf("%d", v)})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
@@ -57,8 +59,9 @@ func writeFamilyHeader(w io.Writer, fam, kind string) error {
 	return err
 }
 
+// writeScalarFamilies emits pre-sorted samples; toScalar and
+// gaugesToScalar establish the order before the slices escape them.
 func writeScalarFamilies(w io.Writer, kind string, samples []scalarSample) error {
-	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
 	typed := map[string]bool{}
 	for _, s := range samples {
 		fam := Family(s.name)
