@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	horse "github.com/horse-faas/horse"
+)
+
+// runCluster is the cluster subcommand: the multi-node deployment of
+// DESIGN.md §11. It builds N nodes (the first -ull-nodes of them with
+// reserved uLL slots), registers every function named by the -arrivals
+// workload list, provisions warm/HORSE pools, runs the open-loop
+// generator to the horizon, and writes the aggregated report as CSV or
+// JSON. The run is deterministic: the same flags produce a
+// byte-identical report.
+func runCluster(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("horsesim cluster", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 8, "node count")
+		ullNodes = fs.Int("ull-nodes", 2, "nodes (from the front) with reserved uLL slots")
+		ullSlots = fs.Int("ull-slots", 2, "reserved uLL slots per uLL node")
+		vcpus    = fs.Int("vcpus", 1, "vCPUs per sandbox")
+		memoryMB = fs.Int("memory", 128, "sandbox memory (MB)")
+		pool     = fs.Int("pool", 4, "pooled sandboxes per function cluster-wide (0 = none)")
+		policy   = fs.String("policy", "ull-affinity", "placement policy: "+strings.Join(horse.PlacementPolicies(), "|"))
+		arrivals = fs.String("arrivals", "scan=poisson:rate=1000/s,mode=horse",
+			"workload list, e.g. scan=poisson:rate=2000/s;thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
+		horizon = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
+		seed    = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
+		faults  = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
+		format  = fs.String("format", "csv", "report format: csv|json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("need at least one node")
+	}
+	if *ullNodes < 0 || *ullNodes > *nodes {
+		return fmt.Errorf("-ull-nodes %d must be in [0, -nodes]", *ullNodes)
+	}
+	if *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+
+	workloads, err := horse.ParseWorkloads(*arrivals)
+	if err != nil {
+		return err
+	}
+	injector, err := horse.FaultInjectorFromSpec(*seed, *faults)
+	if err != nil {
+		return err
+	}
+	specs := make([]horse.ClusterNodeSpec, *nodes)
+	for i := range specs {
+		if i < *ullNodes {
+			specs[i].ULLSlots = *ullSlots
+		}
+	}
+	c, err := horse.NewCluster(horse.ClusterOptions{
+		Specs:    specs,
+		Policy:   *policy,
+		Seed:     *seed,
+		Faults:   injector,
+		Fallback: horse.FallbackConfig{Enabled: true},
+	})
+	if err != nil {
+		return err
+	}
+
+	payloads := make(map[string][]byte, len(workloads))
+	for _, wl := range workloads {
+		fn, payload, err := pickFunction(wl.Function)
+		if err != nil {
+			return err
+		}
+		if err := c.RegisterEverywhere(fn, horse.SandboxSpec{VCPUs: *vcpus, MemoryMB: *memoryMB}); err != nil {
+			return err
+		}
+		payloads[wl.Function] = payload
+		if err := provisionPools(c, wl, *pool); err != nil {
+			return err
+		}
+	}
+
+	report, err := c.Run(horse.ClusterRunConfig{
+		Workloads: workloads,
+		Horizon:   horse.Duration(*horizon),
+		Payloads:  payloads,
+	})
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		return report.WriteJSON(w)
+	}
+	return report.WriteCSV(w)
+}
+
+// provisionPools scales one pool per pool-backed start mode in the
+// workload's mix: horse arrivals draw from HORSE pools (confined to uLL
+// nodes), warm arrivals from vanilla pools. Cold and restore arrivals
+// need no pool. The mix is walked in clause order so provisioning is
+// deterministic.
+func provisionPools(c *horse.Cluster, wl horse.LoadWorkload, pool int) error {
+	if pool < 1 {
+		return nil
+	}
+	done := map[horse.Policy]bool{}
+	for _, share := range wl.Mix {
+		var policy horse.Policy
+		switch share.Mode {
+		case horse.ModeHorse:
+			policy = horse.PolicyHorse
+		case horse.ModeWarm:
+			policy = horse.PolicyVanilla
+		default:
+			continue
+		}
+		if done[policy] {
+			continue
+		}
+		done[policy] = true
+		if _, err := c.ScaleCluster(wl.Function, pool, policy); err != nil {
+			return fmt.Errorf("provisioning %s %s pool: %w", wl.Function, policy, err)
+		}
+	}
+	return nil
+}

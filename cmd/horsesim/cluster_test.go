@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func clusterOut(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(append([]string{"cluster"}, args...), &buf); err != nil {
+		t.Fatalf("cluster %v: %v", args, err)
+	}
+	return buf.Bytes()
+}
+
+// TestClusterRunsAreByteIdentical pins the subcommand's determinism
+// contract: the same flags produce the same bytes, and a different seed
+// produces different traffic.
+func TestClusterRunsAreByteIdentical(t *testing.T) {
+	args := []string{"-nodes", "8", "-policy", "ull-affinity", "-seed", "42"}
+	first := clusterOut(t, args...)
+	second := clusterOut(t, args...)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	other := clusterOut(t, "-nodes", "8", "-policy", "ull-affinity", "-seed", "43")
+	if bytes.Equal(first, other) {
+		t.Fatal("seeds 42 and 43 produced identical reports")
+	}
+}
+
+func TestClusterAllPolicies(t *testing.T) {
+	for _, policy := range []string{"round-robin", "least-loaded", "ull-affinity"} {
+		out := string(clusterOut(t, "-policy", policy, "-seed", "7"))
+		if !strings.HasPrefix(strings.SplitN(out, "\n", 2)[1], policy+",") {
+			t.Fatalf("policy %s not echoed in report:\n%s", policy, out)
+		}
+	}
+}
+
+func TestClusterJSONFormat(t *testing.T) {
+	out := clusterOut(t, "-format", "json", "-seed", "42")
+	var report struct {
+		Policy   string `json:"policy"`
+		Arrivals uint64 `json:"arrivals"`
+		Served   uint64 `json:"served"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, out)
+	}
+	if report.Policy != "ull-affinity" || report.Arrivals == 0 || report.Served == 0 {
+		t.Fatalf("implausible report: %+v", report)
+	}
+}
+
+func TestClusterFaultsSurfaceFailovers(t *testing.T) {
+	out := string(clusterOut(t,
+		"-seed", "42", "-faults", "cluster.node.fail:nth=50"))
+	if !strings.Contains(out, "node-failed") {
+		t.Fatalf("node-failure run reports no node-failed failovers:\n%s", out)
+	}
+}
+
+func TestClusterMixedWorkloads(t *testing.T) {
+	out := string(clusterOut(t, "-seed", "3", "-arrivals",
+		"scan=poisson:rate=500/s,mode=horse;thumbnail=onoff:on=20ms,off=80ms,rate=200/s,mode=warm"))
+	for _, want := range []string{"scan,true,", "thumbnail,false,", "warm,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mixed-workload report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterBadArguments(t *testing.T) {
+	tests := [][]string{
+		{"-nodes", "0"},
+		{"-ull-nodes", "9", "-nodes", "8"},
+		{"-policy", "bogus"},
+		{"-arrivals", "scan=poisson:rate=-1/s"},
+		{"-arrivals", "bogus=poisson:rate=100/s"},
+		{"-faults", "bogus-spec"},
+		{"-format", "xml"},
+		{"-badflag"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(append([]string{"cluster"}, args...), &buf); err == nil {
+			t.Fatalf("cluster args %v accepted", args)
+		}
+	}
+}

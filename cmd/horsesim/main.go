@@ -6,6 +6,12 @@
 // Example:
 //
 //	horsesim -function scan -mode horse -triggers 1000 -vcpus 4
+//
+// The cluster subcommand scales the same platform out to a
+// deterministic multi-node deployment under open-loop load (DESIGN.md
+// §11):
+//
+//	horsesim cluster -nodes 8 -policy ull-affinity -seed 42
 package main
 
 import (
@@ -28,6 +34,9 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "cluster" {
+		return runCluster(args[1:], w)
+	}
 	fs := flag.NewFlagSet("horsesim", flag.ContinueOnError)
 	var (
 		fnName    = fs.String("function", "scan", "workload: firewall|nat|scan|thumbnail")

@@ -36,10 +36,12 @@ import (
 	"io"
 	"net/http"
 
+	"github.com/horse-faas/horse/internal/cluster"
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/experiments"
 	"github.com/horse-faas/horse/internal/faas"
 	"github.com/horse-faas/horse/internal/faultinject"
+	"github.com/horse-faas/horse/internal/loadgen"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/trace"
@@ -384,12 +386,14 @@ type (
 
 // Fault-injection sites.
 const (
-	FaultSiteCreate  = faultinject.SiteCreate
-	FaultSitePause   = faultinject.SitePause
-	FaultSiteResume  = faultinject.SiteResume
-	FaultSiteRestore = faultinject.SiteRestore
-	FaultSiteInvoke  = faultinject.SiteInvoke
-	FaultSiteDestroy = faultinject.SiteDestroy
+	FaultSiteCreate    = faultinject.SiteCreate
+	FaultSitePause     = faultinject.SitePause
+	FaultSiteResume    = faultinject.SiteResume
+	FaultSiteRestore   = faultinject.SiteRestore
+	FaultSiteInvoke    = faultinject.SiteInvoke
+	FaultSiteDestroy   = faultinject.SiteDestroy
+	FaultSiteNodeFail  = faultinject.SiteNodeFail
+	FaultSiteNodeDrain = faultinject.SiteNodeDrain
 )
 
 // ErrFaultInjected is the sentinel every injected fault matches with
@@ -435,3 +439,80 @@ func TraceArrivals(t *Trace, seed int64) []Arrival { return t.Arrivals(seed) }
 
 // ComputeTraceStats summarizes a trace's arrival process.
 func ComputeTraceStats(t *Trace) (TraceStats, error) { return trace.ComputeStats(t) }
+
+// Cluster scale-out (DESIGN.md §11): a deterministic multi-node
+// deployment behind pluggable placement policies, fed by an open-loop
+// load generator on the virtual clock. See cmd/horsesim's cluster
+// subcommand for the CLI front end.
+type (
+	// Cluster is a deterministic multi-node HORSE deployment: N
+	// platform nodes behind a Router, with cluster-wide pool operations
+	// and failover on node failure or drain.
+	Cluster = cluster.Cluster
+	// ClusterOptions configures NewCluster.
+	ClusterOptions = cluster.Options
+	// ClusterNodeSpec sizes one node's capacity: vCPUs, memory, and the
+	// reserved uLL slots that make it eligible for HORSE pools.
+	ClusterNodeSpec = cluster.NodeSpec
+	// ClusterNode is one node: a platform plus capacity and health.
+	ClusterNode = cluster.Node
+	// NodeHealth is a node's lifecycle state (up, draining, failed).
+	NodeHealth = cluster.Health
+	// ClusterRunConfig drives one open-loop cluster experiment.
+	ClusterRunConfig = cluster.RunConfig
+	// ClusterReport aggregates one cluster run: per-mode and per-node
+	// latency distributions, failover reasons, and SLO attainment.
+	ClusterReport = cluster.Report
+	// ClusterPlacement records where one trigger was served and what it
+	// cost end to end (wait + init + exec).
+	ClusterPlacement = cluster.Placement
+
+	// LoadWorkload binds one function name to an arrival process and a
+	// start-mode mix (one clause of the -arrivals flag).
+	LoadWorkload = loadgen.Workload
+	// ArrivalSpec is one open-loop arrival process (poisson or onoff).
+	ArrivalSpec = loadgen.Spec
+	// StartModeMix is a workload's distribution over start modes.
+	StartModeMix = loadgen.ModeMix
+	// LoadGenerator produces open-loop arrivals on the virtual clock.
+	LoadGenerator = loadgen.Generator
+	// LoadGeneratorOptions configures NewLoadGenerator.
+	LoadGeneratorOptions = loadgen.Options
+)
+
+// Placement policies (ClusterOptions.Policy).
+const (
+	PlacementRoundRobin  = cluster.PolicyRoundRobin
+	PlacementLeastLoaded = cluster.PolicyLeastLoaded
+	PlacementULLAffinity = cluster.PolicyULLAffinity
+)
+
+// Node health states.
+const (
+	NodeUp       = cluster.Up
+	NodeDraining = cluster.Draining
+	NodeFailed   = cluster.Failed
+)
+
+// NewCluster builds a multi-node deployment. Every node wraps its own
+// platform; the placement policy, seed, fault injector, and metrics
+// registry come from opts.
+func NewCluster(opts ClusterOptions) (*Cluster, error) { return cluster.New(opts) }
+
+// PlacementPolicies returns the policy names NewCluster accepts.
+func PlacementPolicies() []string { return cluster.Policies() }
+
+// ParseWorkloads parses the -arrivals flag syntax: semicolon-separated
+// function=spec clauses, e.g.
+// "scan=poisson:rate=2000/s;thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm".
+func ParseWorkloads(s string) ([]LoadWorkload, error) { return loadgen.ParseWorkloads(s) }
+
+// ParseArrivalSpec parses one arrival-process clause, e.g.
+// "poisson:rate=500/s" or "onoff:on=1ms,off=9ms,rate=2000/s".
+func ParseArrivalSpec(s string) (ArrivalSpec, error) { return loadgen.ParseSpec(s) }
+
+// NewLoadGenerator builds an open-loop arrival generator with one PRNG
+// stream per workload, all derived from seed.
+func NewLoadGenerator(seed int64, workloads []LoadWorkload, opts LoadGeneratorOptions) (*LoadGenerator, error) {
+	return loadgen.New(seed, workloads, opts)
+}

@@ -10,9 +10,10 @@ import (
 
 func TestMetricname(t *testing.T) {
 	catalog := map[string]metricname.Instrument{
-		"vmm_resumes_total": {Kind: "counter", Labels: []string{"policy"}},
-		"vmm_resume_ns":     {Kind: "histogram", Labels: []string{"policy"}},
-		"pool_size":         {Kind: "gauge"},
+		"vmm_resumes_total":       {Kind: "counter", Labels: []string{"policy"}},
+		"vmm_resume_ns":           {Kind: "histogram", Labels: []string{"policy"}},
+		"pool_size":               {Kind: "gauge"},
+		"cluster_failovers_total": {Kind: "counter", Labels: []string{"reason"}},
 	}
 	analysistest.Run(t, "testdata", metricname.New(catalog))
 }
@@ -30,6 +31,8 @@ func TestDefaultCatalogCoversWiredFamilies(t *testing.T) {
 		"faas_triggers_total", "faas_warm_pool_hits_total",
 		"faas_warm_pool_misses_total", "faas_keepalive_expirations_total",
 		"faas_warm_pool_size",
+		"cluster_triggers_total", "cluster_failovers_total",
+		"cluster_node_load", "loadgen_arrivals_total",
 	} {
 		if _, ok := byFamily[fam]; !ok {
 			t.Errorf("wired instrument family %q missing from telemetry catalog", fam)

@@ -26,6 +26,11 @@ func use() {
 	_ = InstrumentName("bogus_family")                             // want `instrument family "bogus_family" is not in the telemetry catalog`
 	_ = InstrumentName("pool_size")                                // clean
 
+	// Cluster routing site: the reason label is declared, the node
+	// label is not.
+	r.Counter("cluster_failovers_total", "reason", "node-failed") // clean: on-catalog family and label
+	r.Counter("cluster_failovers_total", "node", "node00")        // want `label key "node" is not declared for instrument "cluster_failovers_total"`
+
 	// Dynamically computed names pass through unchecked.
 	name := "runtime_chosen_total"
 	r.Counter(name)

@@ -64,6 +64,8 @@ var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/metrics",
 	"github.com/horse-faas/horse/internal/trace",
 	"github.com/horse-faas/horse/internal/workload",
+	"github.com/horse-faas/horse/internal/cluster",
+	"github.com/horse-faas/horse/internal/loadgen",
 }
 
 // Default returns the analyzer configured for this repository.

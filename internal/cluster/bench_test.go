@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/loadgen"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+// benchCluster builds the 8-node regression topology (2 reserved nodes)
+// with the scan deployed everywhere and HORSE pools on the reserved
+// nodes.
+func benchCluster(b *testing.B, policy string) *Cluster {
+	b.Helper()
+	specs := make([]NodeSpec, 8)
+	for i := range specs {
+		if i < 2 {
+			specs[i].ULLSlots = 2
+		}
+	}
+	c, err := New(Options{Specs: specs, Policy: policy, Seed: 42, Fallback: faas.FallbackConfig{Enabled: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterEverywhere(workload.NewScan(1), faas.SandboxSpec{VCPUs: 1, MemoryMB: 128}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.ScaleCluster("scan", 4, core.Horse); err != nil {
+		b.Fatal(err)
+	}
+	c.Settle()
+	return c
+}
+
+// BenchmarkRouting measures one placement decision — the cluster-layer
+// cost every trigger pays before any sandbox work starts.
+func BenchmarkRouting(b *testing.B) {
+	for _, policy := range Policies() {
+		b.Run(policy, func(b *testing.B) {
+			c := benchCluster(b, policy)
+			now := c.clock.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.router.Pick(c, "scan", true, nil, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterTrigger measures the full routed trigger: placement,
+// clock sync, HORSE resume, invoke, re-pool.
+func BenchmarkClusterTrigger(b *testing.B) {
+	c := benchCluster(b, PolicyULLAffinity)
+	payload, err := json.Marshal(workload.ScanRequest{Threshold: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Trigger("scan", faas.ModeHorse, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReportBuild measures report assembly plus CSV rendering over
+// a populated run.
+func BenchmarkReportBuild(b *testing.B) {
+	c := benchCluster(b, PolicyULLAffinity)
+	ws, err := loadgen.ParseWorkloads("scan=poisson:rate=2000/s,mode=horse")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := json.Marshal(workload.ScanRequest{Threshold: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	report, err := c.Run(RunConfig{
+		Workloads: ws,
+		Horizon:   100 * simtime.Millisecond,
+		Payloads:  map[string][]byte{"scan": payload},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package cluster scales the single-node HORSE platform out to a
+// deterministic multi-node deployment: N faas.Platform nodes behind a
+// Router with pluggable placement policies, cluster-wide pool
+// operations, and failure handling that reuses the platform's graceful
+// degradation when a node dies mid-trigger (DESIGN.md §11).
+//
+// Everything runs on virtual time. The cluster owns a global clock
+// (driven by the loadgen/eventsim arrival stream); each node's platform
+// keeps its own local clock, synchronized forward to the cluster
+// instant before serving. A node whose local clock runs ahead of the
+// cluster clock has backlog, and that lag is both the queueing delay
+// the next trigger will see and the load score the least-loaded and
+// bounded-load policies place against. Same seed, same options ⇒ the
+// same placements, the same failures, and a byte-identical report.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/eventsim"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/faultinject"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
+	"github.com/horse-faas/horse/internal/workload"
+)
+
+// Cluster errors.
+var (
+	// ErrUnknownNode reports a node id that is not in the cluster.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrNodeNotUp reports a lifecycle operation on a node that has
+	// already left the Up state.
+	ErrNodeNotUp = errors.New("cluster: node is not up")
+	// ErrInvokeNotRetried marks an invocation-failure that the cluster
+	// deliberately did not fail over: the function body started running,
+	// so re-triggering it on another node would double-execute user code.
+	ErrInvokeNotRetried = errors.New("cluster: invocation failed; not retried on another node")
+)
+
+// Failover reasons, used as the cluster_failovers_total{reason} label
+// and the report's failover breakdown.
+const (
+	// ReasonNodeFailed is a routing decision voided by the picked node
+	// failing (faultinject site cluster.node.fail).
+	ReasonNodeFailed = "node-failed"
+	// ReasonNodeDraining is a routing decision voided by the picked node
+	// starting a drain (faultinject site cluster.node.drain).
+	ReasonNodeDraining = "node-draining"
+	// ReasonTriggerFailed is a trigger whose serving node exhausted the
+	// platform's own fallback chain and was retried elsewhere.
+	ReasonTriggerFailed = "trigger-failed"
+)
+
+// deploymentEntry is the cluster's record of one registered function.
+type deploymentEntry struct {
+	fn   workload.Function
+	spec faas.SandboxSpec
+	ull  bool
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Nodes is the node count when Specs is empty; every node gets Spec
+	// (defaults applied).
+	Nodes int
+	// Spec is the homogeneous node spec used with Nodes.
+	Spec NodeSpec
+	// Specs, when non-empty, sizes a heterogeneous cluster explicitly
+	// and overrides Nodes/Spec.
+	Specs []NodeSpec
+	// Policy is the placement policy name (default round-robin).
+	Policy string
+	// Seed drives every PRNG in the cluster's run (loadgen streams; the
+	// fault injector is seeded by its own constructor).
+	Seed int64
+	// Faults is checked at the cluster.node.* sites on every routing
+	// decision and threaded into each node's platform so the §7 sites
+	// (create/pause/resume/restore/invoke/destroy) fire there too. Nil
+	// injects nothing.
+	Faults *faultinject.Injector
+	// Metrics receives the cluster instruments and is shared by every
+	// node's platform, so per-mode counters aggregate cluster-wide.
+	Metrics *telemetry.Registry
+	// Fallback is each node's graceful-degradation config; the zero
+	// value disables per-node fallback.
+	Fallback faas.FallbackConfig
+	// VirtualNodes, BoundFactor, and MinHeadroom tune the ull-affinity
+	// ring (zero selects DefaultVirtualNodes/DefaultBoundFactor/
+	// DefaultMinHeadroom).
+	VirtualNodes int
+	BoundFactor  float64
+	MinHeadroom  simtime.Duration
+}
+
+// Cluster is a deterministic multi-node HORSE deployment.
+type Cluster struct {
+	clock  *simtime.Clock
+	engine *eventsim.Engine
+	nodes  []*Node
+	router *Router
+
+	deployments map[string]deploymentEntry
+	faults      *faultinject.Injector
+	metrics     *telemetry.Registry
+	seed        int64
+
+	rejected     uint64
+	failed       uint64
+	failovers    map[string]uint64
+	rehomeFailed uint64
+}
+
+// New builds a cluster of fresh nodes at the simulation epoch.
+func New(opts Options) (*Cluster, error) {
+	specs := opts.Specs
+	if len(specs) == 0 {
+		if opts.Nodes <= 0 {
+			return nil, errors.New("cluster: need at least one node")
+		}
+		specs = make([]NodeSpec, opts.Nodes)
+		for i := range specs {
+			specs[i] = opts.Spec
+		}
+	}
+	policy := opts.Policy
+	if policy == "" {
+		policy = PolicyRoundRobin
+	}
+	engine := eventsim.New(nil)
+	c := &Cluster{
+		clock:       engine.Clock(),
+		engine:      engine,
+		deployments: make(map[string]deploymentEntry),
+		faults:      opts.Faults,
+		metrics:     opts.Metrics,
+		seed:        opts.Seed,
+		failovers:   make(map[string]uint64),
+	}
+	for i, spec := range specs {
+		spec = spec.withDefaults()
+		ullQueues := spec.ULLSlots
+		if ullQueues < 1 {
+			ullQueues = 1
+		}
+		p, err := faas.New(faas.Options{
+			CPUs:      spec.CPUs,
+			ULLQueues: ullQueues,
+			Metrics:   opts.Metrics,
+			Faults:    opts.Faults,
+			Fallback:  opts.Fallback,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &Node{
+			id:       fmt.Sprintf("node%02d", i),
+			index:    i,
+			spec:     spec,
+			platform: p,
+			health:   Up,
+		})
+	}
+	router, err := newRouter(policy, c, opts.VirtualNodes, opts.BoundFactor, opts.MinHeadroom)
+	if err != nil {
+		return nil, err
+	}
+	c.router = router
+	return c, nil
+}
+
+// Clock returns the cluster's global virtual clock.
+func (c *Cluster) Clock() *simtime.Clock { return c.clock }
+
+// Engine returns the cluster's discrete-event engine (the loadgen
+// arrival stream installs into it).
+func (c *Cluster) Engine() *eventsim.Engine { return c.engine }
+
+// Nodes returns the cluster's nodes in index order. The slice is the
+// cluster's own; callers must not mutate it.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Router returns the cluster's router.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Seed returns the seed the cluster was built with.
+func (c *Cluster) Seed() int64 { return c.seed }
+
+// Rejected returns how many triggers found no eligible node.
+func (c *Cluster) Rejected() uint64 { return c.rejected }
+
+// Failed returns how many triggers failed on-node without being
+// retried elsewhere (invocation failures).
+func (c *Cluster) Failed() uint64 { return c.failed }
+
+// Failovers returns the total re-routing decisions taken.
+func (c *Cluster) Failovers() uint64 {
+	var total uint64
+	for _, n := range c.failovers {
+		total += n
+	}
+	return total
+}
+
+// FailoversByReason returns the failover breakdown. The caller owns the
+// returned map.
+func (c *Cluster) FailoversByReason() map[string]uint64 {
+	out := make(map[string]uint64, len(c.failovers))
+	for reason, n := range c.failovers {
+		out[reason] = n
+	}
+	return out
+}
+
+// RehomeFailures returns how many drain re-homing operations failed
+// partway (the drain still completes; capacity is degraded).
+func (c *Cluster) RehomeFailures() uint64 { return c.rehomeFailed }
+
+// node looks a node up by id.
+func (c *Cluster) node(id string) (*Node, error) {
+	for _, n := range c.nodes {
+		if n.id == id {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+}
+
+// RegisterEverywhere deploys fn on every node so any placement decision
+// can serve it. Whether the function is uLL (and therefore eligible for
+// HORSE pools and ull-affinity pinning) comes from its workload
+// category.
+func (c *Cluster) RegisterEverywhere(fn workload.Function, spec faas.SandboxSpec) error {
+	if fn == nil {
+		return errors.New("cluster: nil function")
+	}
+	if _, ok := c.deployments[fn.Name()]; ok {
+		return fmt.Errorf("%w: %q", faas.ErrAlreadyDeployed, fn.Name())
+	}
+	for _, n := range c.nodes {
+		if _, err := n.platform.Register(fn, spec); err != nil {
+			return fmt.Errorf("cluster: register %q on %s: %w", fn.Name(), n.id, err)
+		}
+	}
+	c.deployments[fn.Name()] = deploymentEntry{fn: fn, spec: spec, ull: fn.Category().ULL()}
+	return nil
+}
+
+// DeploymentNames returns the registered function names in sorted order.
+func (c *Cluster) DeploymentNames() []string {
+	names := make([]string, 0, len(c.deployments))
+	for name := range c.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// scaleTargets assigns total warm-pool entries for one deployment and
+// policy across the eligible nodes, round-robin one slot at a time so a
+// heterogeneous cluster fills evenly. HORSE pools are confined to
+// uLL-reserved nodes and capped at each node's ULLSlots; every
+// placement is admitted against the node's live sandbox-memory
+// commitment. Returns the eligible nodes and their targets.
+func (c *Cluster) scaleTargets(name string, total int, policy core.Policy) ([]*Node, []int) {
+	entry := c.deployments[name]
+	var nodes []*Node
+	var caps []int
+	for _, n := range c.nodes {
+		if n.health != Up {
+			continue
+		}
+		if policy == core.Horse && !n.ULLReserved() {
+			continue
+		}
+		// Entries this rescale replaces come back as free memory.
+		freeMB := n.spec.MemoryMB - n.committedMB(c) + n.poolCount(name, policy)*entry.spec.MemoryMB
+		cap := freeMB / entry.spec.MemoryMB
+		if cap < 0 {
+			cap = 0
+		}
+		if policy == core.Horse && cap > n.spec.ULLSlots {
+			cap = n.spec.ULLSlots
+		}
+		nodes = append(nodes, n)
+		caps = append(caps, cap)
+	}
+	targets := make([]int, len(nodes))
+	remaining := total
+	for remaining > 0 {
+		progressed := false
+		for i := range nodes {
+			if remaining == 0 {
+				break
+			}
+			if targets[i] < caps[i] {
+				targets[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return nodes, targets
+}
+
+// ScaleCluster sets the cluster-wide warm-pool size for one deployment
+// and resume policy, distributing the entries across the eligible nodes
+// (see scaleTargets). It returns how many entries are now placed; when
+// capacity caps the placement below total, the remainder is simply not
+// placed — triggers beyond the warm capacity degrade through the
+// fallback chain instead of failing.
+func (c *Cluster) ScaleCluster(name string, total int, policy core.Policy) (int, error) {
+	if _, ok := c.deployments[name]; !ok {
+		return 0, fmt.Errorf("%w: %q", faas.ErrUnknownFunction, name)
+	}
+	if total < 0 {
+		return 0, fmt.Errorf("cluster: negative pool target %d", total)
+	}
+	nodes, targets := c.scaleTargets(name, total, policy)
+	placed := 0
+	for i, n := range nodes {
+		if err := n.platform.ScaleTo(name, targets[i], policy); err != nil {
+			return placed, fmt.Errorf("cluster: scale %q to %d on %s: %w", name, targets[i], n.id, err)
+		}
+		placed += targets[i]
+	}
+	return placed, nil
+}
+
+// poolTotal sums the healthy nodes' warm-pool entries for one
+// deployment and policy.
+func (c *Cluster) poolTotal(name string, policy core.Policy) int {
+	total := 0
+	for _, n := range c.nodes {
+		if n.health != Up {
+			continue
+		}
+		total += n.poolCount(name, policy)
+	}
+	return total
+}
+
+// Rebalance redistributes every deployment's current warm capacity
+// across the healthy nodes — the periodic repair step that undoes the
+// skew left behind by drains, failures, and reaping.
+func (c *Cluster) Rebalance() error {
+	for _, name := range c.DeploymentNames() {
+		for _, policy := range []core.Policy{core.Vanilla, core.Horse} {
+			total := c.poolTotal(name, policy)
+			if total == 0 {
+				continue
+			}
+			if _, err := c.ScaleCluster(name, total, policy); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Drain gracefully removes a node: it stops receiving new triggers
+// immediately, and its warm capacity is re-homed onto the surviving
+// nodes deployment by deployment. A re-homing error degrades capacity
+// but never cancels the drain — the node is going away regardless.
+func (c *Cluster) Drain(id string) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	if n.health != Up {
+		return fmt.Errorf("%w: %s is %s", ErrNodeNotUp, id, n.health)
+	}
+	n.health = Draining
+	var firstErr error
+	for _, name := range c.DeploymentNames() {
+		for _, policy := range []core.Policy{core.Vanilla, core.Horse} {
+			departing := n.poolCount(name, policy)
+			if departing == 0 {
+				continue
+			}
+			survivors := c.poolTotal(name, policy)
+			if err := n.platform.ScaleTo(name, 0, policy); err != nil {
+				// The pool shrink failed partway; the node keeps its
+				// orphaned sandboxes, which no trigger will ever reach.
+				c.rehomeFailed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: drain %s: release %q: %w", id, name, err)
+				}
+				continue
+			}
+			if _, err := c.ScaleCluster(name, survivors+departing, policy); err != nil {
+				c.rehomeFailed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: drain %s: re-home %q: %w", id, name, err)
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// Fail hard-kills a node: health goes to Failed and its pools are lost
+// with it — no re-homing, the capacity must be rebuilt by ScaleCluster
+// or Rebalance on the survivors.
+func (c *Cluster) Fail(id string) error {
+	n, err := c.node(id)
+	if err != nil {
+		return err
+	}
+	if n.health == Failed {
+		return fmt.Errorf("%w: %s is already failed", ErrNodeNotUp, id)
+	}
+	n.health = Failed
+	return nil
+}
+
+// countFailover records one voided routing decision.
+func (c *Cluster) countFailover(reason string) {
+	c.failovers[reason]++
+	c.metrics.Counter("cluster_failovers_total", "reason", reason).Inc()
+}
+
+// Placement describes where and how one trigger was served.
+type Placement struct {
+	// Node and NodeIndex identify the serving node (empty/-1 when the
+	// trigger was rejected).
+	Node      string
+	NodeIndex int
+	// Failovers counts the voided routing decisions before this one.
+	Failovers int
+	// Wait is the virtual time the trigger queued behind the node's
+	// backlog before its sandbox work began.
+	Wait simtime.Duration
+	// Latency is arrival-to-completion: Wait plus the invocation's
+	// init and exec.
+	Latency simtime.Duration
+}
+
+// Trigger routes one invocation through the placement policy and serves
+// it, failing over across nodes when the picked node dies, drains, or
+// exhausts its local fallback chain. The returned Placement reports
+// where it landed and what it cost end to end.
+func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faas.Invocation, Placement, error) {
+	entry, ok := c.deployments[name]
+	if !ok {
+		return faas.Invocation{}, Placement{NodeIndex: -1}, fmt.Errorf("%w: %q", faas.ErrUnknownFunction, name)
+	}
+	arrival := c.clock.Now()
+	excluded := make(map[int]bool)
+	failovers := 0
+	var lastErr error
+	for {
+		n, err := c.router.Pick(c, name, entry.ull, excluded, arrival)
+		if err != nil {
+			c.rejected++
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last node error: %v)", err, lastErr)
+			}
+			return faas.Invocation{}, Placement{NodeIndex: -1, Failovers: failovers}, err
+		}
+		// One fault check per routing decision: the node we were about to
+		// use can fail hard or start draining under us.
+		if ferr := c.faults.Check(faultinject.SiteNodeFail); ferr != nil {
+			if err := c.Fail(n.id); err != nil {
+				// Unreachable: the router only picks Up nodes.
+				return faas.Invocation{}, Placement{NodeIndex: -1, Failovers: failovers}, err
+			}
+			c.countFailover(ReasonNodeFailed)
+			excluded[n.index] = true
+			failovers++
+			continue
+		}
+		if ferr := c.faults.Check(faultinject.SiteNodeDrain); ferr != nil {
+			if err := c.Drain(n.id); err != nil {
+				// A partial re-home degrades capacity but the node is
+				// draining regardless; the failover below still applies.
+				c.rehomeFailed++
+			}
+			c.countFailover(ReasonNodeDraining)
+			excluded[n.index] = true
+			failovers++
+			continue
+		}
+		local := n.platform.Clock()
+		start := arrival
+		if local.Now().After(start) {
+			start = local.Now()
+		}
+		wait := start.Sub(arrival)
+		local.AdvanceTo(start)
+		inv, terr := n.platform.Trigger(name, mode, payload)
+		if terr != nil {
+			if errors.Is(terr, faas.ErrInvokeFailed) {
+				// The function body ran and died; retrying on another
+				// node would double-execute user code.
+				c.failed++
+				return faas.Invocation{}, Placement{
+					Node: n.id, NodeIndex: n.index, Failovers: failovers, Wait: wait,
+				}, fmt.Errorf("%w: %v", ErrInvokeNotRetried, terr)
+			}
+			c.countFailover(ReasonTriggerFailed)
+			excluded[n.index] = true
+			failovers++
+			lastErr = terr
+			continue
+		}
+		n.served++
+		// Caller-observed latency ends when the function's response is
+		// ready; the re-pool pause after it is node housekeeping and
+		// shows up only as backlog (Lag) for later triggers.
+		latency := wait + inv.Total()
+		c.metrics.Counter("cluster_triggers_total", "node", n.id, "policy", c.router.Policy()).Inc()
+		c.metrics.Gauge("cluster_node_load", "node", n.id).Set(int64(n.Lag(arrival)))
+		return inv, Placement{
+			Node: n.id, NodeIndex: n.index, Failovers: failovers, Wait: wait, Latency: latency,
+		}, nil
+	}
+}
+
+// Settle advances the cluster clock to the latest node-local instant,
+// marking the end of setup: provisioning and registration charge the
+// node-local clocks, and without a settle that work would read as
+// backlog (queueing delay) to the first triggers of an experiment.
+// Returns the settled instant.
+func (c *Cluster) Settle() simtime.Time {
+	latest := c.clock.Now()
+	for _, n := range c.nodes {
+		if local := n.platform.Clock().Now(); local.After(latest) {
+			latest = local
+		}
+	}
+	c.clock.AdvanceTo(latest)
+	return latest
+}
+
+// Reap runs every healthy node's keep-alive reaper and returns the
+// total sandboxes destroyed.
+func (c *Cluster) Reap() (int, error) {
+	total := 0
+	for _, n := range c.nodes {
+		if n.health != Up {
+			continue
+		}
+		reaped, err := n.platform.Reap()
+		total += reaped
+		if err != nil {
+			return total, fmt.Errorf("cluster: reap on %s: %w", n.id, err)
+		}
+	}
+	return total, nil
+}

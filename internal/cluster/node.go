@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Health is a node's lifecycle state.
+type Health int
+
+// The node health states. Transitions only move toward the grave: an Up
+// node can drain or fail, a Draining node can fail; nothing recovers
+// (bringing capacity back is ScaleCluster's job on the surviving
+// nodes — a production recovery path is a named ROADMAP follow-up).
+const (
+	// Up nodes accept new triggers and cluster-level pool operations.
+	Up Health = iota
+	// Draining nodes refuse new triggers; their warm capacity has been
+	// re-homed onto the surviving nodes by Drain.
+	Draining
+	// Failed nodes are gone: pools lost, triggers failed over.
+	Failed
+)
+
+// String returns the health state's report name.
+func (h Health) String() string {
+	switch h {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// NodeSpec sizes one node.
+type NodeSpec struct {
+	// CPUs is the node's general-purpose core count (default 36, the
+	// paper's evaluation machine).
+	CPUs int
+	// MemoryMB is the sandbox-memory capacity cluster-level pool
+	// placement admits against (default 16384).
+	MemoryMB int
+	// ULLSlots is the node's reserved uLL capacity: the number of
+	// ull_runqueues its hypervisor reserves and the cap on warm
+	// HORSE-armed sandboxes cluster placement will put here. 0 means the
+	// node is not uLL-reserved: the ull-affinity policy never pins uLL
+	// functions to it and ScaleCluster never places HORSE pools on it.
+	ULLSlots int
+}
+
+// Defaults for the zero NodeSpec.
+const (
+	DefaultNodeCPUs     = 36
+	DefaultNodeMemoryMB = 16384
+)
+
+func (s NodeSpec) withDefaults() NodeSpec {
+	if s.CPUs == 0 {
+		s.CPUs = DefaultNodeCPUs
+	}
+	if s.MemoryMB == 0 {
+		s.MemoryMB = DefaultNodeMemoryMB
+	}
+	return s
+}
+
+// Node is one cluster member: a faas.Platform plus the capacity and
+// health bookkeeping the router places against.
+//
+// Each node runs on its own local virtual clock, synchronized forward
+// to the cluster clock before serving a trigger. A node whose local
+// clock is ahead of the cluster clock has backlog — virtual work
+// already committed but not yet caught up with by cluster time — and
+// that lag is the node's load score (DESIGN.md §11).
+type Node struct {
+	id       string
+	index    int
+	spec     NodeSpec
+	platform *faas.Platform
+	health   Health
+
+	// placements counts routing decisions that picked this node;
+	// served counts triggers that completed here. The difference is
+	// picks that failed over elsewhere.
+	placements uint64
+	served     uint64
+}
+
+// ID returns the node's stable identifier ("node00", "node01", …).
+func (n *Node) ID() string { return n.id }
+
+// Index returns the node's position in the cluster's node list.
+func (n *Node) Index() int { return n.index }
+
+// Spec returns the node's capacity spec (defaults applied).
+func (n *Node) Spec() NodeSpec { return n.spec }
+
+// Platform returns the node's FaaS platform.
+func (n *Node) Platform() *faas.Platform { return n.platform }
+
+// Health returns the node's lifecycle state.
+func (n *Node) Health() Health { return n.health }
+
+// ULLReserved reports whether the node reserves uLL capacity.
+func (n *Node) ULLReserved() bool { return n.spec.ULLSlots > 0 }
+
+// Placements returns how many routing decisions picked this node.
+func (n *Node) Placements() uint64 { return n.placements }
+
+// Served returns how many triggers completed on this node.
+func (n *Node) Served() uint64 { return n.served }
+
+// Lag is the node's load score: how far its local clock runs ahead of
+// the cluster instant now — the virtual-time backlog a new trigger
+// would wait behind. A node that has never served is at the epoch and
+// reports zero.
+func (n *Node) Lag(now simtime.Time) simtime.Duration {
+	local := n.platform.Clock().Now()
+	if local.After(now) {
+		return local.Sub(now)
+	}
+	return 0
+}
+
+// committedMB returns the node's live sandbox-memory commitment: the
+// sum over deployments of warm-pool size × per-sandbox memory. It is
+// computed from the pools rather than kept as a ledger so reaping,
+// destroy failures, and pool churn inside the platform can never make
+// the admission check drift.
+func (n *Node) committedMB(c *Cluster) int {
+	names := make([]string, 0, len(c.deployments))
+	for name := range c.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, name := range names {
+		stats, err := n.platform.PoolStats(name)
+		if err != nil {
+			// The deployment is registered on every node by construction;
+			// a lookup failure means it was never registered here, which
+			// commits nothing.
+			continue
+		}
+		total += stats.Size * c.deployments[name].spec.MemoryMB
+	}
+	return total
+}
+
+// poolCount returns the node's warm-pool entries for one deployment and
+// policy (0 when the deployment is unknown here).
+func (n *Node) poolCount(name string, policy core.Policy) int {
+	stats, err := n.platform.PoolStats(name)
+	if err != nil {
+		return 0
+	}
+	return stats.ByPolicy[policy]
+}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Report is the outcome of one cluster run. Every field is a value or a
+// sorted slice — no maps — so the JSON and CSV renderings are
+// byte-identical for identical runs.
+type Report struct {
+	// Policy, Seed, and Nodes echo the cluster configuration.
+	Policy string `json:"policy"`
+	Seed   int64  `json:"seed"`
+	Nodes  int    `json:"nodes"`
+	// Horizon is the virtual span the arrival stream covered.
+	Horizon simtime.Duration `json:"horizon_ns"`
+	// Arrivals counts generated triggers; Served the ones that
+	// completed; Rejected the ones that found no eligible node; Failed
+	// the ones whose invocation died on-node (not retried elsewhere).
+	Arrivals uint64 `json:"arrivals"`
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+	Failed   uint64 `json:"failed"`
+	// Failovers counts voided routing decisions, broken down by reason.
+	Failovers       uint64        `json:"failovers"`
+	FailoverReasons []ReasonCount `json:"failover_reasons"`
+	// Modes and NodeSummaries give the latency distributions per served
+	// start mode and per node.
+	Modes         []ModeLatency `json:"modes"`
+	NodeSummaries []NodeSummary `json:"node_summaries"`
+	// SLOs is the per-function SLO attainment; ULLAttainment is the
+	// aggregate over the uLL functions (1 when none saw traffic).
+	SLOs          []SLOSummary `json:"slos"`
+	ULLAttainment float64      `json:"ull_attainment"`
+}
+
+// ReasonCount is one failover reason's tally.
+type ReasonCount struct {
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+// ModeLatency is the arrival-to-completion latency distribution of one
+// served start mode.
+type ModeLatency struct {
+	Mode  string           `json:"mode"`
+	Count uint64           `json:"count"`
+	P50   simtime.Duration `json:"p50_ns"`
+	P95   simtime.Duration `json:"p95_ns"`
+	P99   simtime.Duration `json:"p99_ns"`
+	Max   simtime.Duration `json:"max_ns"`
+}
+
+// NodeSummary is one node's end-of-run state and serving profile.
+type NodeSummary struct {
+	Node       string           `json:"node"`
+	Health     string           `json:"health"`
+	Placements uint64           `json:"placements"`
+	Served     uint64           `json:"served"`
+	Lag        simtime.Duration `json:"lag_ns"`
+	P50        simtime.Duration `json:"p50_ns"`
+	P99        simtime.Duration `json:"p99_ns"`
+}
+
+// SLOSummary is one function's attainment against its virtual-time
+// latency budget. Rejected and failed arrivals count as misses: an SLO
+// is about what the caller observed, not about the happy path.
+type SLOSummary struct {
+	Function   string           `json:"function"`
+	ULL        bool             `json:"ull"`
+	Budget     simtime.Duration `json:"budget_ns"`
+	Arrivals   uint64           `json:"arrivals"`
+	Missed     uint64           `json:"missed"`
+	Attainment float64          `json:"attainment"`
+}
+
+// percentile returns the q-quantile of sorted by nearest rank. sorted
+// must be ascending and non-empty.
+func percentile(sorted []simtime.Duration, q float64) simtime.Duration {
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// attainment renders a ratio with a fixed denominator-zero convention
+// (vacuously attained) so reports never contain NaN.
+func attainment(missed, total uint64) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(total-missed) / float64(total)
+}
+
+// formatRatio renders attainment values with fixed precision so the CSV
+// is byte-stable.
+func formatRatio(f float64) string {
+	return strconv.FormatFloat(f, 'f', 6, 64)
+}
+
+// WriteCSV renders the report as sectioned CSV: a summary row, then
+// mode, node, failover, and SLO tables, each with its own header line.
+func (r Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "policy,seed,nodes,horizon_ns,arrivals,served,rejected,failed,failovers,ull_attainment\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+		r.Policy, r.Seed, r.Nodes, int64(r.Horizon), r.Arrivals, r.Served, r.Rejected, r.Failed, r.Failovers, formatRatio(r.ULLAttainment)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nmode,count,p50_ns,p95_ns,p99_ns,max_ns\n"); err != nil {
+		return err
+	}
+	for _, m := range r.Modes {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d\n", m.Mode, m.Count, int64(m.P50), int64(m.P95), int64(m.P99), int64(m.Max)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nnode,health,placements,served,lag_ns,p50_ns,p99_ns\n"); err != nil {
+		return err
+	}
+	for _, n := range r.NodeSummaries {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d\n", n.Node, n.Health, n.Placements, n.Served, int64(n.Lag), int64(n.P50), int64(n.P99)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nfailover_reason,count\n"); err != nil {
+		return err
+	}
+	for _, fr := range r.FailoverReasons {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", fr.Reason, fr.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nfunction,ull,budget_ns,arrivals,missed,attainment\n"); err != nil {
+		return err
+	}
+	for _, s := range r.SLOs {
+		if _, err := fmt.Fprintf(w, "%s,%t,%d,%d,%d,%s\n", s.Function, s.ULL, int64(s.Budget), s.Arrivals, s.Missed, formatRatio(s.Attainment)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// reportBuilder accumulates per-arrival outcomes during a run.
+type reportBuilder struct {
+	cluster *Cluster
+	horizon simtime.Duration
+	budgets map[string]simtime.Duration
+
+	arrivals uint64
+	served   uint64
+	rejected uint64
+	failed   uint64
+
+	byMode map[string][]simtime.Duration
+	byNode map[string][]simtime.Duration
+	byFn   map[string]*fnOutcome
+}
+
+type fnOutcome struct {
+	arrivals uint64
+	missed   uint64
+}
+
+func newReportBuilder(c *Cluster, horizon simtime.Duration, budgets map[string]simtime.Duration) *reportBuilder {
+	return &reportBuilder{
+		cluster: c,
+		horizon: horizon,
+		budgets: budgets,
+		byMode:  make(map[string][]simtime.Duration),
+		byNode:  make(map[string][]simtime.Duration),
+		byFn:    make(map[string]*fnOutcome),
+	}
+}
+
+// record folds one trigger outcome into the report. Mode latencies are
+// grouped by the mode that actually served (after fallback), because
+// that is the distribution the paper's figures compare.
+func (b *reportBuilder) record(fn, servedMode, node string, latency simtime.Duration, err error) {
+	b.arrivals++
+	out := b.byFn[fn]
+	if out == nil {
+		out = &fnOutcome{}
+		b.byFn[fn] = out
+	}
+	out.arrivals++
+	if err != nil {
+		if isRejection(err) {
+			b.rejected++
+		} else {
+			b.failed++
+		}
+		out.missed++
+		return
+	}
+	b.served++
+	if latency > b.budgets[fn] {
+		out.missed++
+	}
+	b.byMode[servedMode] = append(b.byMode[servedMode], latency)
+	b.byNode[node] = append(b.byNode[node], latency)
+}
+
+// isRejection distinguishes no-eligible-node rejections from on-node
+// failures.
+func isRejection(err error) bool {
+	return errors.Is(err, ErrNoNodes)
+}
+
+// build assembles the final Report. Every map is drained through a
+// sorted key list so identical runs serialize identically.
+func (b *reportBuilder) build() Report {
+	c := b.cluster
+	r := Report{
+		Policy:   c.router.Policy(),
+		Seed:     c.seed,
+		Nodes:    len(c.nodes),
+		Horizon:  b.horizon,
+		Arrivals: b.arrivals,
+		Served:   b.served,
+		Rejected: b.rejected,
+		Failed:   b.failed,
+	}
+	reasons := make([]string, 0, len(c.failovers))
+	for reason := range c.failovers {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		r.Failovers += c.failovers[reason]
+		r.FailoverReasons = append(r.FailoverReasons, ReasonCount{Reason: reason, Count: c.failovers[reason]})
+	}
+	modes := make([]string, 0, len(b.byMode))
+	for mode := range b.byMode {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		samples := b.byMode[mode]
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		r.Modes = append(r.Modes, ModeLatency{
+			Mode:  mode,
+			Count: uint64(len(samples)),
+			P50:   percentile(samples, 0.50),
+			P95:   percentile(samples, 0.95),
+			P99:   percentile(samples, 0.99),
+			Max:   samples[len(samples)-1],
+		})
+	}
+	now := c.clock.Now()
+	for _, n := range c.nodes {
+		summary := NodeSummary{
+			Node:       n.id,
+			Health:     n.health.String(),
+			Placements: n.placements,
+			Served:     n.served,
+			Lag:        n.Lag(now),
+		}
+		if samples := b.byNode[n.id]; len(samples) > 0 {
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			summary.P50 = percentile(samples, 0.50)
+			summary.P99 = percentile(samples, 0.99)
+		}
+		r.NodeSummaries = append(r.NodeSummaries, summary)
+	}
+	fns := make([]string, 0, len(b.byFn))
+	for fn := range b.byFn {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	var ullArrivals, ullMissed uint64
+	for _, fn := range fns {
+		out := b.byFn[fn]
+		ull := c.deployments[fn].ull
+		r.SLOs = append(r.SLOs, SLOSummary{
+			Function:   fn,
+			ULL:        ull,
+			Budget:     b.budgets[fn],
+			Arrivals:   out.arrivals,
+			Missed:     out.missed,
+			Attainment: attainment(out.missed, out.arrivals),
+		})
+		if ull {
+			ullArrivals += out.arrivals
+			ullMissed += out.missed
+		}
+	}
+	r.ULLAttainment = attainment(ullMissed, ullArrivals)
+	return r
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/horse-faas/horse/internal/loadgen"
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Default virtual-time latency budgets for RunConfig.SLO entries that
+// are unset. The uLL budget sits far above the HORSE fast path (≈850 ns
+// for a Category-3 scan) and the warm path (≈1.9 µs) but far below a
+// snapshot restore (1300 µs), so it measures "did the trigger stay on a
+// hot path", which is the paper's definition of a uLL-capable platform.
+const (
+	DefaultULLBudget = 50 * simtime.Microsecond
+	DefaultBudget    = 5 * simtime.Second
+)
+
+// RunConfig drives one open-loop cluster experiment.
+type RunConfig struct {
+	// Workloads is the arrival mix (see loadgen.ParseWorkloads). Every
+	// named function must already be registered on the cluster.
+	Workloads []loadgen.Workload
+	// Horizon is the virtual span to generate arrivals over.
+	Horizon simtime.Duration
+	// Payloads maps function name to trigger payload (nil entries send
+	// nil payloads).
+	Payloads map[string][]byte
+	// SLO overrides the per-function virtual-time latency budget
+	// (default DefaultULLBudget for uLL functions, DefaultBudget
+	// otherwise).
+	SLO map[string]simtime.Duration
+	// MaxEvents caps the event loop as a runaway guard (0 = no cap).
+	MaxEvents int
+}
+
+// Run generates the configured arrival stream on the cluster's event
+// engine, routes every arrival through the placement policy, and
+// returns the aggregated report. The run is deterministic: the
+// cluster's seed drives the arrival PRNGs, virtual time drives every
+// latency, and the report is byte-identical across identical runs.
+func (c *Cluster) Run(cfg RunConfig) (Report, error) {
+	if cfg.Horizon <= 0 {
+		return Report{}, errors.New("cluster: run horizon must be positive")
+	}
+	budgets := make(map[string]simtime.Duration, len(cfg.Workloads))
+	for _, w := range cfg.Workloads {
+		entry, ok := c.deployments[w.Function]
+		if !ok {
+			return Report{}, fmt.Errorf("cluster: workload function %q is not registered", w.Function)
+		}
+		budget, ok := cfg.SLO[w.Function]
+		if !ok {
+			if entry.ull {
+				budget = DefaultULLBudget
+			} else {
+				budget = DefaultBudget
+			}
+		}
+		if budget <= 0 {
+			return Report{}, fmt.Errorf("cluster: non-positive SLO budget for %q", w.Function)
+		}
+		budgets[w.Function] = budget
+	}
+	gen, err := loadgen.New(c.seed, cfg.Workloads, loadgen.Options{Metrics: c.metrics})
+	if err != nil {
+		return Report{}, err
+	}
+	builder := newReportBuilder(c, cfg.Horizon, budgets)
+	// Setup work (provisioning, registration) charged the node-local
+	// clocks; settle so it does not read as backlog to the first
+	// arrivals.
+	horizonEnd := c.Settle().Add(cfg.Horizon)
+	err = gen.Install(c.engine, horizonEnd, func(a loadgen.Arrival) {
+		inv, placement, terr := c.Trigger(a.Function, a.Mode, cfg.Payloads[a.Function])
+		builder.record(a.Function, inv.Mode.String(), placement.Node, placement.Latency, terr)
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if err := c.engine.Run(cfg.MaxEvents); err != nil {
+		return Report{}, err
+	}
+	// Land the global clock on the horizon so back-to-back runs and the
+	// report's node lags are measured from a well-defined instant.
+	if horizonEnd.After(c.clock.Now()) {
+		c.clock.AdvanceTo(horizonEnd)
+	}
+	return builder.build(), nil
+}

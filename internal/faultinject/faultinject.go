@@ -60,11 +60,19 @@ const (
 	// the failure mode that exercised the keep-alive reaper's pool
 	// consistency.
 	SiteDestroy Site = "destroy"
+	// SiteNodeFail fires on the cluster routing path, checked once per
+	// routing decision; a fired fault kills the node that was about to
+	// serve (pools lost, trigger fails over).
+	SiteNodeFail Site = "cluster.node.fail"
+	// SiteNodeDrain fires on the cluster routing path like SiteNodeFail,
+	// but the node drains gracefully: it stops taking new triggers and
+	// its warm capacity is re-homed onto the surviving nodes.
+	SiteNodeDrain Site = "cluster.node.drain"
 )
 
 // Sites returns every defined injection site in stable order.
 func Sites() []Site {
-	return []Site{SiteCreate, SitePause, SiteResume, SiteRestore, SiteInvoke, SiteDestroy}
+	return []Site{SiteCreate, SitePause, SiteResume, SiteRestore, SiteInvoke, SiteDestroy, SiteNodeFail, SiteNodeDrain}
 }
 
 // ErrInjected is the sentinel every injected fault matches with

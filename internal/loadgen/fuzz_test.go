@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseWorkloads checks the -arrivals parser tolerates arbitrary
+// input: it must either reject with an error or return workloads that
+// validate, round-trip through their String form, and drive a small
+// generation without panicking.
+func FuzzParseWorkloads(f *testing.F) {
+	f.Add("scan=poisson:rate=2000/s")
+	f.Add("scan=poisson:rate=500/s;nat=onoff:on=1ms,off=9ms,rate=2000/s")
+	f.Add("firewall=poisson:rate=500/s,mode=horse:0.9+warm:0.1")
+	f.Add("thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
+	f.Add("a=poisson:rate=1e3/s;b=poisson:rate=0.5")
+	f.Add("x=onoff:on=1ns,off=1ns,rate=1000000/s,mode=cold:1+restore:0")
+	f.Add(";;=;=,;mode=")
+	f.Add("f=poisson:rate=NaN/s")
+	f.Add("f=onoff:on=9999999h,off=1ms,rate=5/s")
+	f.Fuzz(func(t *testing.T, spec string) {
+		ws, err := ParseWorkloads(spec)
+		if err != nil {
+			return
+		}
+		if len(ws) == 0 {
+			t.Fatalf("ParseWorkloads(%q) returned no workloads and no error", spec)
+		}
+		// Accepted workloads must round-trip through their rendered form.
+		rendered := make([]string, 0, len(ws))
+		for _, w := range ws {
+			rendered = append(rendered, w.String())
+		}
+		again, err := ParseWorkloads(strings.Join(rendered, ";"))
+		if err != nil {
+			t.Fatalf("re-parsing rendered form %q: %v", strings.Join(rendered, ";"), err)
+		}
+		if len(again) != len(ws) {
+			t.Fatalf("round-trip changed workload count: %d -> %d", len(ws), len(again))
+		}
+		// And they must be generatable without panicking.
+		g, err := New(1, ws, Options{})
+		if err != nil {
+			t.Fatalf("New rejected parsed workloads: %v", err)
+		}
+		if _, err := g.Collect(100_000); err != nil { // 100 µs horizon keeps the loop fast
+			t.Fatalf("Collect: %v", err)
+		}
+	})
+}
+
+// FuzzParseSpec checks the single-clause parser in isolation.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("poisson:rate=500/s")
+	f.Add("onoff:on=1ms,off=9ms,rate=2000/s")
+	f.Add("onoff:on=,off=,rate=")
+	f.Add("poisson:rate=-1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		round, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("re-parsing rendered form %q: %v", s.String(), err)
+		}
+		if round != s {
+			t.Fatalf("round-trip changed spec: %+v -> %+v", s, round)
+		}
+	})
+}

@@ -53,6 +53,10 @@ var catalog = []InstrumentDef{
 	{"faas_trigger_failures_total", KindCounter, []string{"site"}, "Failed trigger attempts per failure site."},
 	{"faas_fallbacks_total", KindCounter, []string{"from", "to"}, "Trigger fallbacks from one start mode to the next in the degradation chain."},
 	{"faas_retries_total", KindCounter, nil, "Virtual-time backoff retries of contended resumes in the trigger path."},
+	{"cluster_triggers_total", KindCounter, []string{"node", "policy"}, "Cluster triggers served per node under the active placement policy."},
+	{"cluster_failovers_total", KindCounter, []string{"reason"}, "Routing decisions voided by node failure, drain, or on-node trigger failure."},
+	{"cluster_node_load", KindGauge, []string{"node"}, "Node virtual-time backlog (lag behind the cluster clock) in nanoseconds."},
+	{"loadgen_arrivals_total", KindCounter, []string{"function"}, "Open-loop arrivals generated per function."},
 }
 
 // Catalog returns the instrument catalog sorted by family name. The
