@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -29,10 +30,11 @@ func runCluster(args []string, w io.Writer) error {
 		policy   = fs.String("policy", "ull-affinity", "placement policy: "+strings.Join(horse.PlacementPolicies(), "|"))
 		arrivals = fs.String("arrivals", "scan=poisson:rate=1000/s,mode=horse",
 			"workload list, e.g. scan=poisson:rate=2000/s;thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
-		horizon = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
-		seed    = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
-		faults  = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
-		format  = fs.String("format", "csv", "report format: csv|json")
+		horizon  = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
+		seed     = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
+		faults   = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
+		format   = fs.String("format", "csv", "report format: csv|json")
+		traceOut = fs.String("trace-out", "", "write retained trigger span trees (SLO violators + worst-K) as Perfetto JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,10 +97,34 @@ func runCluster(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, c); err != nil {
+			return err
+		}
+	}
 	if *format == "json" {
 		return report.WriteJSON(w)
 	}
 	return report.WriteCSV(w)
+}
+
+// writeTraceFile dumps the flight recorder's retained span trees (every
+// SLO-violating trigger plus the worst-K by end-to-end latency) as a
+// Perfetto trace file. Same seed, same flags ⇒ byte-identical file.
+func writeTraceFile(path string, c *horse.Cluster) error {
+	rec := c.Trace()
+	if rec == nil {
+		return fmt.Errorf("no trace recorder armed; run the cluster before dumping traces")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := horse.WriteTriggerPerfetto(f, rec.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // provisionPools scales one pool per pool-backed start mode in the

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,5 +92,52 @@ func TestClusterBadArguments(t *testing.T) {
 		if err := run(append([]string{"cluster"}, args...), &buf); err == nil {
 			t.Fatalf("cluster args %v accepted", args)
 		}
+	}
+}
+
+// TestClusterTraceOutIsByteIdentical pins the -trace-out determinism
+// contract at the CLI level: same flags ⇒ byte-identical Perfetto file
+// (and byte-identical report), different seed ⇒ different traces. The
+// round-robin + node-failure combination guarantees a violator
+// population so the file carries full span trees, not just worst-K.
+func TestClusterTraceOutIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	render := func(name, seed string) string {
+		path := filepath.Join(dir, name)
+		clusterOut(t,
+			"-policy", "round-robin", "-seed", seed,
+			"-faults", "cluster.node.fail:nth=20",
+			"-trace-out", path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	first := render("a.json", "42")
+	second := render("b.json", "42")
+	if first != second {
+		t.Fatal("same seed produced different -trace-out files")
+	}
+	if first == render("c.json", "43") {
+		t.Fatal("seeds 42 and 43 produced identical -trace-out files")
+	}
+	for _, want := range []string{`"trace_id"`, `"trigger-flow"`, `"slo-violation"`, `"displayTimeUnit"`} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("-trace-out file missing %q", want)
+		}
+	}
+}
+
+// TestClusterTraceOutAttributionMatches: the attribution section of the
+// CSV report must be present and identical across same-seed runs (it is
+// part of the byte-identical report contract).
+func TestClusterTraceOutAttributionMatches(t *testing.T) {
+	out := string(clusterOut(t, "-seed", "42"))
+	if !strings.Contains(out, "attribution_mode,stage,class,count,total_ns,p50_ns,p99_ns,max_ns") {
+		t.Fatalf("CSV report has no attribution section:\n%s", out)
+	}
+	if !strings.Contains(out, ",invoke,serving,") {
+		t.Fatalf("attribution section has no serving invoke row:\n%s", out)
 	}
 }

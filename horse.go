@@ -45,6 +45,7 @@ import (
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/trace"
+	"github.com/horse-faas/horse/internal/trigtrace"
 	"github.com/horse-faas/horse/internal/vmm"
 	"github.com/horse-faas/horse/internal/workload"
 )
@@ -493,6 +494,39 @@ const (
 	NodeDraining = cluster.Draining
 	NodeFailed   = cluster.Failed
 )
+
+// Per-trigger tracing (DESIGN.md §12): deterministic trace IDs, a
+// causally linked span tree per trigger, tail-latency attribution by
+// stage and start mode, and an SLO flight recorder that retains the
+// full span tree for every violating (and worst-K) trigger.
+type (
+	// TraceRecorder aggregates per-trigger traces: attribution table,
+	// violation counts, and flight-recorder retention. Cluster.Run arms
+	// one automatically; pass one via ClusterOptions.Trace to size the
+	// retention or share it across runs.
+	TraceRecorder = trigtrace.Recorder
+	// TraceRecorderOptions configures NewTraceRecorder.
+	TraceRecorderOptions = trigtrace.RecorderOptions
+	// TriggerTrace is one trigger's span tree: typed stage records plus
+	// the end-to-end outcome.
+	TriggerTrace = trigtrace.TriggerTrace
+	// TraceStageLatency is one attribution row: per-stage, per-mode
+	// count/total/p50/p99/max.
+	TraceStageLatency = trigtrace.StageLatency
+)
+
+// NewTraceRecorder builds a per-trigger trace recorder.
+func NewTraceRecorder(opts TraceRecorderOptions) *TraceRecorder {
+	return trigtrace.NewRecorder(opts)
+}
+
+// WriteTriggerPerfetto emits trigger span trees as Chrome/Perfetto
+// trace-event JSON (one track per trigger, flow-linked stages), loadable
+// in ui.perfetto.dev or chrome://tracing. Output is deterministic for a
+// given trace set.
+func WriteTriggerPerfetto(w io.Writer, traces []*TriggerTrace) error {
+	return trigtrace.WritePerfetto(w, traces)
+}
 
 // NewCluster builds a multi-node deployment. Every node wraps its own
 // platform; the placement policy, seed, fault injector, and metrics

@@ -66,6 +66,8 @@ var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/workload",
 	"github.com/horse-faas/horse/internal/cluster",
 	"github.com/horse-faas/horse/internal/loadgen",
+	"github.com/horse-faas/horse/internal/trigtrace",
+	"github.com/horse-faas/horse/internal/flightrec",
 }
 
 // Default returns the analyzer configured for this repository.

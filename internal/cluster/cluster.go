@@ -25,6 +25,7 @@ import (
 	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
+	"github.com/horse-faas/horse/internal/trigtrace"
 	"github.com/horse-faas/horse/internal/workload"
 )
 
@@ -94,6 +95,11 @@ type Options struct {
 	VirtualNodes int
 	BoundFactor  float64
 	MinHeadroom  simtime.Duration
+	// Trace, when non-nil, records an end-to-end span tree per trigger
+	// (DESIGN.md §12). Run arms one automatically when this is nil; a
+	// direct Trigger caller without one pays only the inert-context
+	// early-returns (BenchmarkContextDisabled).
+	Trace *trigtrace.Recorder
 }
 
 // Cluster is a deterministic multi-node HORSE deployment.
@@ -107,6 +113,14 @@ type Cluster struct {
 	faults      *faultinject.Injector
 	metrics     *telemetry.Registry
 	seed        int64
+
+	// rec, seq, and sloBudgets drive per-trigger tracing: rec mints one
+	// context per arrival (seq is the arrival index its trace ID derives
+	// from), and sloBudgets carries each function's latency budget into
+	// the trace's SLO verdict. All nil/zero when tracing is off.
+	rec        *trigtrace.Recorder
+	seq        uint64
+	sloBudgets map[string]simtime.Duration
 
 	rejected     uint64
 	failed       uint64
@@ -138,6 +152,7 @@ func New(opts Options) (*Cluster, error) {
 		faults:      opts.Faults,
 		metrics:     opts.Metrics,
 		seed:        opts.Seed,
+		rec:         opts.Trace,
 		failovers:   make(map[string]uint64),
 	}
 	for i, spec := range specs {
@@ -156,12 +171,17 @@ func New(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
+		id := fmt.Sprintf("node%02d", i)
 		c.nodes = append(c.nodes, &Node{
-			id:       fmt.Sprintf("node%02d", i),
+			id:       id,
 			index:    i,
 			spec:     spec,
 			platform: p,
 			health:   Up,
+			// Prebind the per-trigger instruments so the hot path skips
+			// the registry lookup (nil registry ⇒ inert nil handles).
+			triggers: opts.Metrics.Counter("cluster_triggers_total", "node", id, "policy", policy),
+			load:     opts.Metrics.Gauge("cluster_node_load", "node", id),
 		})
 	}
 	router, err := newRouter(policy, c, opts.VirtualNodes, opts.BoundFactor, opts.MinHeadroom)
@@ -188,6 +208,23 @@ func (c *Cluster) Router() *Router { return c.router }
 
 // Seed returns the seed the cluster was built with.
 func (c *Cluster) Seed() int64 { return c.seed }
+
+// Trace returns the armed trigger-trace recorder (nil when tracing is
+// off).
+func (c *Cluster) Trace() *trigtrace.Recorder { return c.rec }
+
+// SetTrace arms (or, with nil, disarms) the trigger-trace recorder.
+func (c *Cluster) SetTrace(rec *trigtrace.Recorder) { c.rec = rec }
+
+// SetSLOBudget sets the latency budget a function's traces are judged
+// against (0 removes it). Run seeds these from its per-function
+// budgets; direct Trigger callers may set them explicitly.
+func (c *Cluster) SetSLOBudget(name string, budget simtime.Duration) {
+	if c.sloBudgets == nil {
+		c.sloBudgets = make(map[string]simtime.Duration)
+	}
+	c.sloBudgets[name] = budget
+}
 
 // Rejected returns how many triggers found no eligible node.
 func (c *Cluster) Rejected() uint64 { return c.rejected }
@@ -452,6 +489,11 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 		return faas.Invocation{}, Placement{NodeIndex: -1}, fmt.Errorf("%w: %q", faas.ErrUnknownFunction, name)
 	}
 	arrival := c.clock.Now()
+	var tc trigtrace.Context
+	if c.rec != nil {
+		tc = c.rec.Start(c.seq, name, mode.String(), arrival, c.sloBudgets[name])
+		c.seq++
+	}
 	excluded := make(map[int]bool)
 	failovers := 0
 	var lastErr error
@@ -462,6 +504,7 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 			if lastErr != nil {
 				err = fmt.Errorf("%w (last node error: %v)", err, lastErr)
 			}
+			tc.Complete(trigtrace.Outcome{Err: err.Error()})
 			return faas.Invocation{}, Placement{NodeIndex: -1, Failovers: failovers}, err
 		}
 		// One fault check per routing decision: the node we were about to
@@ -469,9 +512,11 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 		if ferr := c.faults.Check(faultinject.SiteNodeFail); ferr != nil {
 			if err := c.Fail(n.id); err != nil {
 				// Unreachable: the router only picks Up nodes.
+				tc.Complete(trigtrace.Outcome{Err: err.Error()})
 				return faas.Invocation{}, Placement{NodeIndex: -1, Failovers: failovers}, err
 			}
 			c.countFailover(ReasonNodeFailed)
+			tc.Reroute(arrival, n.id, ReasonNodeFailed)
 			excluded[n.index] = true
 			failovers++
 			continue
@@ -483,6 +528,7 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 				c.rehomeFailed++
 			}
 			c.countFailover(ReasonNodeDraining)
+			tc.Reroute(arrival, n.id, ReasonNodeDraining)
 			excluded[n.index] = true
 			failovers++
 			continue
@@ -494,17 +540,29 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 		}
 		wait := start.Sub(arrival)
 		local.AdvanceTo(start)
-		inv, terr := n.platform.Trigger(name, mode, payload)
+		// The placement stood; the hop's stages are recorded from mark so
+		// a hop that fails after all can be rolled up into one
+		// failed-attempt span covering exactly the virtual time it cost.
+		mark := tc.Mark()
+		tc.SetNode(n.id)
+		tc.RecordOn(trigtrace.StagePlacement, arrival, 0, n.id, "", c.router.Policy())
+		tc.RecordOn(trigtrace.StageQueueWait, arrival, wait, n.id, "", "")
+		inv, terr := n.platform.TriggerTraced(tc, name, mode, payload)
 		if terr != nil {
+			consumed := local.Now().Sub(arrival)
 			if errors.Is(terr, faas.ErrInvokeFailed) {
 				// The function body ran and died; retrying on another
 				// node would double-execute user code.
 				c.failed++
+				tc.CollapseFailed(mark, arrival, consumed, n.id, mode.String(), string(faultinject.SiteInvoke))
+				tc.Complete(trigtrace.Outcome{Err: terr.Error()})
 				return faas.Invocation{}, Placement{
 					Node: n.id, NodeIndex: n.index, Failovers: failovers, Wait: wait,
 				}, fmt.Errorf("%w: %v", ErrInvokeNotRetried, terr)
 			}
 			c.countFailover(ReasonTriggerFailed)
+			tc.CollapseFailed(mark, arrival, consumed, n.id, mode.String(), ReasonTriggerFailed)
+			tc.Reroute(local.Now(), n.id, ReasonTriggerFailed)
 			excluded[n.index] = true
 			failovers++
 			lastErr = terr
@@ -515,8 +573,9 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 		// ready; the re-pool pause after it is node housekeeping and
 		// shows up only as backlog (Lag) for later triggers.
 		latency := wait + inv.Total()
-		c.metrics.Counter("cluster_triggers_total", "node", n.id, "policy", c.router.Policy()).Inc()
-		c.metrics.Gauge("cluster_node_load", "node", n.id).Set(int64(n.Lag(arrival)))
+		n.triggers.Inc()
+		n.load.Set(int64(n.Lag(arrival)))
+		tc.Complete(trigtrace.Outcome{Served: inv.Mode.String(), Node: n.id, Latency: latency})
 		return inv, Placement{
 			Node: n.id, NodeIndex: n.index, Failovers: failovers, Wait: wait, Latency: latency,
 		}, nil

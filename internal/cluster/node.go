@@ -7,6 +7,7 @@ import (
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/faas"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
 )
 
 // Health is a node's lifecycle state.
@@ -92,6 +93,13 @@ type Node struct {
 	// picks that failed over elsewhere.
 	placements uint64
 	served     uint64
+
+	// triggers and load are the node's per-trigger instruments, prebound
+	// at cluster construction so the trigger hot path skips the
+	// registry's name-format + map-lookup cost (nil registry ⇒ nil
+	// handles, inert).
+	triggers *telemetry.Counter
+	load     *telemetry.Gauge
 }
 
 // ID returns the node's stable identifier ("node00", "node01", …).

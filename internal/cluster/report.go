@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trigtrace"
 )
 
 // Report is the outcome of one cluster run. Every field is a value or a
@@ -39,6 +40,18 @@ type Report struct {
 	// aggregate over the uLL functions (1 when none saw traffic).
 	SLOs          []SLOSummary `json:"slos"`
 	ULLAttainment float64      `json:"ull_attainment"`
+	// Attribution is the tail-latency attribution table: the per-stage
+	// latency distribution under each served start mode, from the
+	// trigger-trace layer (DESIGN.md §12). Per mode, the serving-class
+	// stage totals sum exactly to that mode's summed latency. Empty when
+	// tracing was off.
+	Attribution []trigtrace.StageLatency `json:"attribution,omitempty"`
+	// TraceViolations and TraceReconcileFailures echo the trace
+	// recorder: SLO-violating traces retained for the flight recorder,
+	// and traces whose stage sums failed to reconcile with their latency
+	// (always 0 absent an instrumentation bug).
+	TraceViolations        uint64 `json:"trace_violations"`
+	TraceReconcileFailures uint64 `json:"trace_reconcile_failures"`
 }
 
 // ReasonCount is one failover reason's tally.
@@ -149,6 +162,17 @@ func (r Report) WriteCSV(w io.Writer) error {
 	for _, s := range r.SLOs {
 		if _, err := fmt.Fprintf(w, "%s,%t,%d,%d,%d,%s\n", s.Function, s.ULL, int64(s.Budget), s.Arrivals, s.Missed, formatRatio(s.Attainment)); err != nil {
 			return err
+		}
+	}
+	if len(r.Attribution) > 0 {
+		if _, err := fmt.Fprintf(w, "\nattribution_mode,stage,class,count,total_ns,p50_ns,p99_ns,max_ns\n"); err != nil {
+			return err
+		}
+		for _, a := range r.Attribution {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d\n",
+				a.Mode, a.Stage, a.Class, a.Count, int64(a.Total), int64(a.P50), int64(a.P99), int64(a.Max)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -310,5 +334,8 @@ func (b *reportBuilder) build() Report {
 		}
 	}
 	r.ULLAttainment = attainment(ullMissed, ullArrivals)
+	r.Attribution = c.rec.Attribution()
+	r.TraceViolations = c.rec.Violations()
+	r.TraceReconcileFailures = c.rec.ReconcileFailures()
 	return r
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/horse-faas/horse/internal/loadgen"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trigtrace"
 )
 
 // Default virtual-time latency budgets for RunConfig.SLO entries that
@@ -63,6 +64,15 @@ func (c *Cluster) Run(cfg RunConfig) (Report, error) {
 			return Report{}, fmt.Errorf("cluster: non-positive SLO budget for %q", w.Function)
 		}
 		budgets[w.Function] = budget
+	}
+	// Arm per-trigger tracing so every run yields the tail-latency
+	// attribution table; a caller-supplied recorder (Options.Trace) is
+	// kept, including its retention sizing.
+	if c.rec == nil {
+		c.rec = trigtrace.NewRecorder(trigtrace.RecorderOptions{Seed: c.seed, Metrics: c.metrics})
+	}
+	for name, budget := range budgets {
+		c.SetSLOBudget(name, budget)
 	}
 	gen, err := loadgen.New(c.seed, cfg.Workloads, loadgen.Options{Metrics: c.metrics})
 	if err != nil {

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/faultinject"
+	"github.com/horse-faas/horse/internal/loadgen"
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trigtrace"
+)
+
+// tracedScanRun is runScanCluster but returns the cluster too, so tests
+// can inspect the trace recorder Run armed.
+func tracedScanRun(t *testing.T, policy string, seed int64, faultRules []faultinject.Rule) (*Cluster, Report) {
+	t.Helper()
+	var faults *faultinject.Injector
+	if len(faultRules) > 0 {
+		var err error
+		faults, err = faultinject.New(seed, faultRules...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs := make([]NodeSpec, 8)
+	for i := range specs {
+		if i < 2 {
+			specs[i].ULLSlots = 2
+		}
+	}
+	c, err := New(Options{
+		Specs:    specs,
+		Policy:   policy,
+		Seed:     seed,
+		Faults:   faults,
+		Fallback: faas.FallbackConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerScan(t, c, faas.SandboxSpec{})
+	if _, err := c.ScaleCluster("scan", 4, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := loadgen.ParseWorkloads("scan=poisson:rate=1000/s,mode=horse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run(RunConfig{
+		Workloads: ws,
+		Horizon:   200 * simtime.Millisecond,
+		Payloads:  map[string][]byte{"scan": scanPayload(t)},
+		SLO:       map[string]simtime.Duration{"scan": 1500 * simtime.Nanosecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, report
+}
+
+// TestRunTraceReconciles is the end-to-end attribution invariant: on a
+// seeded run with a mid-stream node failure, every finished trigger's
+// serving-class stage durations must sum exactly to its end-to-end
+// placement latency, and the report's attribution table must cover the
+// run.
+func TestRunTraceReconciles(t *testing.T) {
+	// Round-robin keeps steering HORSE triggers onto nodes without HORSE
+	// pools after the failure, so the run has a rich violator population.
+	rules := []faultinject.Rule{{Site: faultinject.SiteNodeFail, Nth: 20}}
+	c, report := tracedScanRun(t, PolicyRoundRobin, 42, rules)
+	rec := c.Trace()
+	if rec == nil {
+		t.Fatal("Run did not arm a trace recorder")
+	}
+	if rec.Finished() != report.Arrivals {
+		t.Fatalf("finished traces %d, want one per arrival (%d)", rec.Finished(), report.Arrivals)
+	}
+	if report.TraceReconcileFailures != 0 {
+		t.Fatalf("%d traces failed serving-stage/latency reconciliation", report.TraceReconcileFailures)
+	}
+	if report.TraceViolations != rec.Violations() {
+		t.Fatalf("report violations %d != recorder violations %d", report.TraceViolations, rec.Violations())
+	}
+	if rec.Violations() == 0 {
+		t.Fatal("node-failure run recorded no SLO violations; the reroute path is not being traced")
+	}
+	if len(report.Attribution) == 0 {
+		t.Fatal("report has no attribution table")
+	}
+	var invokes uint64
+	servingRows := false
+	for i, row := range report.Attribution {
+		if i > 0 {
+			prev := report.Attribution[i-1]
+			if row.Mode < prev.Mode || (row.Mode == prev.Mode && row.Stage <= prev.Stage) {
+				t.Fatalf("attribution rows not sorted by (mode, stage): %q/%q after %q/%q",
+					row.Mode, row.Stage, prev.Mode, prev.Stage)
+			}
+		}
+		if row.Class == trigtrace.ClassServing {
+			servingRows = true
+		}
+		if row.Stage == trigtrace.StageInvoke {
+			invokes += row.Count
+		}
+	}
+	if !servingRows {
+		t.Fatal("attribution has no serving-class rows")
+	}
+	// Every served trigger runs exactly one serving invoke; failed
+	// attempts collapse into failed-attempt rows instead.
+	if invokes != report.Served {
+		t.Fatalf("invoke-stage count %d, want one per served trigger (%d)", invokes, report.Served)
+	}
+}
+
+// TestRunTraceRetainsViolators pins the flight-recorder contract: with
+// the violator population under the must-keep ring capacity, every
+// SLO-violating trigger's full span tree survives to Traces().
+func TestRunTraceRetainsViolators(t *testing.T) {
+	rules := []faultinject.Rule{{Site: faultinject.SiteNodeFail, Nth: 20}}
+	c, _ := tracedScanRun(t, PolicyRoundRobin, 42, rules)
+	rec := c.Trace()
+	if got := rec.Flight().Evicted(); got != 0 {
+		t.Fatalf("flight recorder evicted %d traces with only %d violations", got, rec.Violations())
+	}
+	traces := rec.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	var violated uint64
+	for i, tr := range traces {
+		if i > 0 && traces[i-1].Seq >= tr.Seq {
+			t.Fatalf("traces not sorted by arrival sequence: %d after %d", tr.Seq, traces[i-1].Seq)
+		}
+		if tr.ServingTotal() != tr.Latency {
+			t.Fatalf("trace %d serving stages sum to %v, want latency %v", tr.Seq, tr.ServingTotal(), tr.Latency)
+		}
+		if tr.EndToEnd != tr.Latency+tr.OverheadTotal() {
+			t.Fatalf("trace %d end-to-end %v != latency %v + overhead %v",
+				tr.Seq, tr.EndToEnd, tr.Latency, tr.OverheadTotal())
+		}
+		if len(tr.Stages) == 0 {
+			t.Fatalf("retained trace %d has no stages", tr.Seq)
+		}
+		if tr.Violated {
+			violated++
+		}
+	}
+	if violated != rec.Violations() {
+		t.Fatalf("retained %d violators, want all %d", violated, rec.Violations())
+	}
+}
+
+// TestRunTraceOutputIsByteIdentical extends the determinism guarantee
+// to the Perfetto export: same seed, same bytes.
+func TestRunTraceOutputIsByteIdentical(t *testing.T) {
+	render := func(seed int64) string {
+		c, _ := tracedScanRun(t, PolicyULLAffinity, seed, nil)
+		var buf bytes.Buffer
+		if err := trigtrace.WritePerfetto(&buf, c.Trace().Traces()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(42), render(42)
+	if a != b {
+		t.Fatal("same seed produced different Perfetto trace files")
+	}
+	if a == render(43) {
+		t.Fatal("different seeds produced identical Perfetto trace files")
+	}
+}
+
+// TestTriggerWithoutRecorderStaysUntraced: direct Trigger calls on a
+// cluster that never ran Run take the disabled tracing path.
+func TestTriggerWithoutRecorderStaysUntraced(t *testing.T) {
+	c := testCluster(t, PolicyRoundRobin, NodeSpec{ULLSlots: 1})
+	registerScan(t, c, faas.SandboxSpec{})
+	if _, err := c.ScaleCluster("scan", 1, core.Horse); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+	if _, _, err := c.Trigger("scan", faas.ModeHorse, scanPayload(t)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace() != nil {
+		t.Fatal("direct Trigger armed a trace recorder")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/horse-faas/horse/internal/core"
 	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/trigtrace"
 	"github.com/horse-faas/horse/internal/vmm"
 )
 
@@ -97,17 +98,28 @@ func (c FallbackConfig) chainFrom(mode StartMode) []StartMode {
 // (vmm.ErrResumeBusy, possibly injected) retries — an entry-failed
 // resume leaves the sandbox paused and re-pooled, so the retry sees the
 // same pool state plus the backoff's worth of virtual time.
-func (p *Platform) attemptWithRetry(d *Deployment, name string, mode StartMode, payload []byte) (Invocation, error) {
+//
+// Trace bookkeeping follows attempt scope: stages recorded by an
+// attempt that fails are collapsed into a single failed-attempt span
+// covering exactly the virtual time the attempt consumed, so failed
+// work never leaks into the serving-path sums; each backoff wait is
+// recorded as its own retry-backoff span.
+func (p *Platform) attemptWithRetry(tc trigtrace.Context, d *Deployment, name string, mode StartMode, payload []byte) (Invocation, error) {
 	retries := p.fallback.maxRetries()
 	backoff := p.fallback.retryBackoff()
 	for attempt := 0; ; attempt++ {
-		inv, err := p.attempt(d, name, mode, payload)
+		mark := tc.Mark()
+		attemptStart := p.clock.Now()
+		inv, err := p.attempt(tc, d, name, mode, payload)
+		if err != nil {
+			tc.CollapseFailed(mark, attemptStart, p.clock.Now().Sub(attemptStart),
+				"", mode.String(), failureSite(mode, err))
+		}
 		if err == nil || attempt >= retries || !errors.Is(err, vmm.ErrResumeBusy) {
 			return inv, err
 		}
-		if m := p.h.Metrics(); m != nil {
-			m.Counter("faas_retries_total").Inc()
-		}
+		p.inst.retries.Inc()
+		tc.RecordOn(trigtrace.StageRetryBackoff, p.clock.Now(), backoff, "", mode.String(), "")
 		p.clock.Advance(backoff)
 		backoff *= 2
 	}

@@ -1,0 +1,216 @@
+// Package flightrec implements the retention policy of an SLO flight
+// recorder: a fixed-size ring buffer for items that must be kept (SLO
+// violators) plus a bounded worst-K set ordered by a caller-supplied
+// score (end-to-end latency), so a long run retains full diagnostic
+// detail for exactly the triggers worth debugging while everything
+// else is dropped after aggregation (DESIGN.md §12).
+//
+// The buffer is generic over the retained item type — internal/trigtrace
+// stores *TriggerTrace span trees in it — and is safe for concurrent
+// use: one mutex guards all state, so multiple node goroutines can
+// offer traces into a shared recorder (the conservative-PDES cluster
+// refactor on the ROADMAP needs exactly that).
+//
+// Retention is deterministic: same offer sequence, same scores, same
+// retained set. Ties in the worst-K set keep the earlier offer, the
+// ring evicts strictly oldest-first, and no wall clock or map iteration
+// participates in any decision.
+package flightrec
+
+import (
+	"sync"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Reason says why (or whether) an offered item was retained.
+type Reason string
+
+// The retention outcomes of one Offer.
+const (
+	// ReasonMustKeep means the item entered the must-keep ring (an SLO
+	// violator or failed trigger).
+	ReasonMustKeep Reason = "must-keep"
+	// ReasonWorstK means the item entered the worst-K set on score.
+	ReasonWorstK Reason = "worst-k"
+	// ReasonDropped means the item was aggregated but its full detail
+	// was not retained.
+	ReasonDropped Reason = "dropped"
+)
+
+// Default sizing for New when zero values are passed.
+const (
+	// DefaultCapacity bounds the must-keep ring.
+	DefaultCapacity = 256
+	// DefaultWorstK bounds the worst-K set.
+	DefaultWorstK = 8
+)
+
+// scored pairs an item with its score and offer sequence for the
+// worst-K ordering.
+type scored[T any] struct {
+	item  T
+	score simtime.Duration
+	seq   uint64
+}
+
+// Buffer is a concurrent, deterministic flight-recorder retention
+// buffer. The zero value is unusable; build one with New.
+type Buffer[T any] struct {
+	mu    sync.Mutex
+	score func(T) simtime.Duration
+
+	ring    []T
+	head    int
+	cap     int
+	evicted uint64
+
+	worst []scored[T] // ascending by (score, then descending seq): worst[0] is the eviction candidate
+	k     int
+
+	offered uint64
+	kept    uint64
+}
+
+// New builds a buffer. capacity bounds the must-keep ring and worstK
+// the worst-K set (zero or negative select the defaults); score ranks
+// items for worst-K retention and must be pure.
+func New[T any](capacity, worstK int, score func(T) simtime.Duration) *Buffer[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if worstK <= 0 {
+		worstK = DefaultWorstK
+	}
+	return &Buffer[T]{cap: capacity, k: worstK, score: score}
+}
+
+// Offer submits one item. mustKeep items enter the ring (evicting the
+// oldest when full); every item additionally competes for the worst-K
+// set by score. The returned reason is the strongest retention that
+// applied: must-keep beats worst-k beats dropped.
+func (b *Buffer[T]) Offer(item T, mustKeep bool) Reason {
+	if b == nil {
+		return ReasonDropped
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seq := b.offered
+	b.offered++
+	reason := ReasonDropped
+	if mustKeep {
+		if len(b.ring) < b.cap {
+			b.ring = append(b.ring, item)
+		} else {
+			b.ring[b.head] = item
+			b.head = (b.head + 1) % b.cap
+			b.evicted++
+		}
+		reason = ReasonMustKeep
+	}
+	if b.offerWorst(item, seq) && reason == ReasonDropped {
+		reason = ReasonWorstK
+	}
+	if reason != ReasonDropped {
+		b.kept++
+	}
+	return reason
+}
+
+// offerWorst inserts the item into the worst-K set if it outranks the
+// current minimum. Ties keep the earlier offer (strict > comparison),
+// so retention never depends on insertion luck. Callers hold b.mu.
+func (b *Buffer[T]) offerWorst(item T, seq uint64) bool {
+	s := b.score(item)
+	if len(b.worst) >= b.k {
+		if s <= b.worst[0].score {
+			return false
+		}
+		copy(b.worst, b.worst[1:])
+		b.worst = b.worst[:len(b.worst)-1]
+	}
+	entry := scored[T]{item: item, score: s, seq: seq}
+	// Insert keeping ascending score order; among equal scores the later
+	// offer sits earlier (closer to eviction), so ties evict newest-first
+	// and the earliest offer survives longest.
+	i := 0
+	for i < len(b.worst) && (b.worst[i].score < s || (b.worst[i].score == s && b.worst[i].seq > seq)) {
+		i++
+	}
+	b.worst = append(b.worst, scored[T]{})
+	copy(b.worst[i+1:], b.worst[i:])
+	b.worst[i] = entry
+	return true
+}
+
+// Ring returns the must-keep ring, oldest first. The caller owns the
+// slice.
+func (b *Buffer[T]) Ring() []T {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]T, 0, len(b.ring))
+	out = append(out, b.ring[b.head:]...)
+	out = append(out, b.ring[:b.head]...)
+	return out
+}
+
+// Worst returns the worst-K set in descending score order (ties in
+// offer order). The caller owns the slice.
+func (b *Buffer[T]) Worst() []T {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]T, 0, len(b.worst))
+	for i := len(b.worst) - 1; i >= 0; i-- {
+		out = append(out, b.worst[i].item)
+	}
+	return out
+}
+
+// Offered returns how many items have been submitted.
+func (b *Buffer[T]) Offered() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.offered
+}
+
+// Kept returns how many offers were retained (must-keep or worst-K) at
+// the moment they were offered; ring eviction and worst-K displacement
+// can later drop them again.
+func (b *Buffer[T]) Kept() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kept
+}
+
+// Evicted returns how many must-keep items the ring overwrote.
+func (b *Buffer[T]) Evicted() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evicted
+}
+
+// Len returns the current ring occupancy plus worst-K occupancy (items
+// may appear in both).
+func (b *Buffer[T]) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring) + len(b.worst)
+}

@@ -64,3 +64,17 @@ func BenchmarkRegistryCounter(b *testing.B) {
 		r.Counter("faas_triggers_total", "mode", "horse").Inc()
 	}
 }
+
+// BenchmarkRegistryCounterBound is the same increment through a handle
+// prebound at construction — the per-trigger metric shape after the
+// hot paths switched to Counter.Bind / prebound *Counter fields. It
+// must stay allocation-free.
+func BenchmarkRegistryCounterBound(b *testing.B) {
+	r := NewRegistry()
+	add := r.Counter("faas_triggers_total", "mode", "horse").Bind()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		add(1)
+	}
+}

@@ -57,6 +57,9 @@ var catalog = []InstrumentDef{
 	{"cluster_failovers_total", KindCounter, []string{"reason"}, "Routing decisions voided by node failure, drain, or on-node trigger failure."},
 	{"cluster_node_load", KindGauge, []string{"node"}, "Node virtual-time backlog (lag behind the cluster clock) in nanoseconds."},
 	{"loadgen_arrivals_total", KindCounter, []string{"function"}, "Open-loop arrivals generated per function."},
+	{"trigtrace_traces_total", KindCounter, nil, "Per-trigger traces finished by the recorder."},
+	{"trigtrace_slo_violations_total", KindCounter, nil, "Finished traces that erred or exceeded their SLO budget."},
+	{"trigtrace_retained_total", KindCounter, []string{"reason"}, "Span trees retained by the flight recorder per retention reason."},
 }
 
 // Catalog returns the instrument catalog sorted by family name. The

@@ -1,0 +1,348 @@
+// Package trigtrace is the per-trigger distributed-tracing layer of the
+// cluster (DESIGN.md §12). Where internal/telemetry records what one
+// hypervisor did (pause/resume spans on one node's timeline), trigtrace
+// follows one trigger end to end — router, failovers, queue wait, pool
+// take, resume, retries, invoke — producing a causally linked span tree
+// per trigger with a deterministic trace ID derived from the run seed
+// and the arrival index, never from a wall clock.
+//
+// The layer is built to cost nothing when off: an inert Context (the
+// zero value, or anything minted by a nil/disabled Recorder) early-
+// returns from every method without allocating, so the trigger hot path
+// keeps its instrumentation wired unconditionally (BenchmarkContextDisabled,
+// budget pinned in BENCH_trace.json). When on, every finished trace is
+// folded into the per-stage/per-mode attribution aggregates, and full
+// span trees are retained only for SLO-violating triggers and the
+// worst-K by end-to-end latency (internal/flightrec), so memory stays
+// bounded on million-arrival runs.
+package trigtrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// TraceID identifies one trigger's trace. IDs are deterministic:
+// derived from the run seed and the trigger's arrival index, so the
+// same seeded run mints the same IDs.
+type TraceID uint64
+
+// NewTraceID derives the trace ID for arrival seq of a run seeded with
+// seed, by the same FNV-1a seed-mixing construction faultinject and
+// loadgen use for their per-site PRNG streams.
+func NewTraceID(seed int64, seq uint64) TraceID {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return TraceID(h.Sum64())
+}
+
+// String renders the ID as fixed-width hex, the form carried in span
+// annotations and Perfetto flow ids.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Stage is one typed step of the trigger pipeline. The taxonomy is
+// closed: every virtual nanosecond between a trigger's arrival and its
+// response belongs to exactly one stage, which is what makes the
+// attribution table reconcile with end-to-end latency (DESIGN.md §12).
+type Stage string
+
+// The stage taxonomy.
+const (
+	// StageQueueWait is the virtual time the trigger queued behind its
+	// serving node's backlog before any sandbox work began.
+	StageQueueWait Stage = "queue-wait"
+	// StagePlacement is a routing decision that stood (zero virtual
+	// duration; the record carries the chosen node).
+	StagePlacement Stage = "placement"
+	// StageReroute is a routing decision voided by node failure, drain,
+	// or an exhausted on-node fallback chain (zero virtual duration; the
+	// record carries the failover reason).
+	StageReroute Stage = "reroute"
+	// StagePoolTake is a warm-pool acquisition on the serving attempt
+	// (zero virtual duration; the record notes the armed policy).
+	StagePoolTake Stage = "pool-take"
+	// StageDispatch is the platform dispatch charge of the vanilla warm
+	// path (cost-model WarmDispatch).
+	StageDispatch Stage = "dispatch"
+	// StageResume is the sandbox resume, vanilla or HORSE fast path.
+	StageResume Stage = "resume"
+	// StageColdInit is a cold start: microVM boot plus runtime init.
+	StageColdInit Stage = "cold-init"
+	// StageRestore is a snapshot restore.
+	StageRestore Stage = "restore"
+	// StageRetryBackoff is the virtual-time exponential backoff between
+	// in-place retries of a contended resume.
+	StageRetryBackoff Stage = "retry-backoff"
+	// StageFailedAttempt is the virtual time consumed by one trigger
+	// attempt that failed (the record carries the attempted mode and the
+	// failure site).
+	StageFailedAttempt Stage = "failed-attempt"
+	// StageInvoke is the function body's execution.
+	StageInvoke Stage = "invoke"
+	// StageRepool is the post-response pause that re-arms the sandbox
+	// into the warm pool — node housekeeping after the caller already
+	// has its answer.
+	StageRepool Stage = "repool"
+)
+
+// Class groups stages by their relation to the caller-observed
+// response.
+type Class string
+
+// The stage classes.
+const (
+	// ClassServing stages lie on the serving path: queue wait plus the
+	// successful attempt's init and invoke. Their durations sum exactly
+	// to the trigger's reported latency.
+	ClassServing Class = "serving"
+	// ClassOverhead stages delayed the response without serving it:
+	// voided routing decisions, failed attempts, retry backoff.
+	// EndToEnd = latency + overhead.
+	ClassOverhead Class = "overhead"
+	// ClassPost stages run after the response is ready (re-pooling) and
+	// count toward neither latency nor end-to-end.
+	ClassPost Class = "post"
+)
+
+// StageClass returns the class of a stage. Unknown stages class as
+// overhead, the conservative choice for the reconciliation invariant.
+func StageClass(s Stage) Class {
+	switch s {
+	case StageQueueWait, StagePlacement, StagePoolTake, StageDispatch,
+		StageResume, StageColdInit, StageRestore, StageInvoke:
+		return ClassServing
+	case StageRepool:
+		return ClassPost
+	default:
+		return ClassOverhead
+	}
+}
+
+// Stages returns the full taxonomy in pipeline order, for docs and
+// exporters.
+func Stages() []Stage {
+	return []Stage{
+		StagePlacement, StageReroute, StageQueueWait, StagePoolTake,
+		StageDispatch, StageResume, StageColdInit, StageRestore,
+		StageRetryBackoff, StageFailedAttempt, StageInvoke, StageRepool,
+	}
+}
+
+// StageRecord is one recorded stage: a span in the trigger's tree.
+type StageRecord struct {
+	Stage Stage            `json:"stage"`
+	Start simtime.Time     `json:"start"`
+	Dur   simtime.Duration `json:"dur_ns"`
+	// Node is the node the stage ran on ("" for cluster-level stages
+	// before a placement stood).
+	Node string `json:"node,omitempty"`
+	// Mode is the start mode of the attempt the stage belongs to.
+	Mode string `json:"mode,omitempty"`
+	// Detail carries the stage-specific annotation: the failover reason
+	// of a reroute, the failure site of a failed attempt, the armed
+	// policy of a pool take.
+	Detail string `json:"detail,omitempty"`
+}
+
+// TriggerTrace is one trigger's completed span tree.
+type TriggerTrace struct {
+	ID       TraceID `json:"id"`
+	Seq      uint64  `json:"seq"`
+	Function string  `json:"function"`
+	// Requested is the arrival's start mode; Served the mode that
+	// actually served after fallback ("" when the trigger failed).
+	Requested string `json:"requested"`
+	Served    string `json:"served,omitempty"`
+	// Node is the serving node ("" when rejected).
+	Node    string       `json:"node,omitempty"`
+	Arrival simtime.Time `json:"arrival"`
+	// Budget is the SLO latency budget the trigger was judged against
+	// (0 = no budget configured).
+	Budget simtime.Duration `json:"budget_ns"`
+	// Latency is the caller-observed serving-path latency (queue wait +
+	// serving init + invoke); EndToEnd adds the pre-response overhead of
+	// failed attempts, retries, and reroutes.
+	Latency  simtime.Duration `json:"latency_ns"`
+	EndToEnd simtime.Duration `json:"end_to_end_ns"`
+	// Err is the trigger's terminal error ("" on success).
+	Err string `json:"err,omitempty"`
+	// Violated marks an SLO miss: a terminal error, or latency over
+	// budget.
+	Violated bool `json:"violated"`
+	// Failovers counts the voided routing decisions.
+	Failovers int `json:"failovers"`
+	// Stages is the span tree in causal order.
+	Stages []StageRecord `json:"stages"`
+
+	idString string
+	// curNode is the node stages default to when recorded without one —
+	// the cluster sets it once per placement so the node-agnostic FaaS
+	// layer need not thread node identity through its attempt path.
+	curNode string
+}
+
+// IDString returns the trace ID in the fixed-width hex form used by
+// span annotations (precomputed once per trace).
+func (t *TriggerTrace) IDString() string {
+	if t.idString == "" {
+		t.idString = t.ID.String()
+	}
+	return t.idString
+}
+
+// ServingTotal sums the serving-class stage durations.
+func (t *TriggerTrace) ServingTotal() simtime.Duration {
+	var sum simtime.Duration
+	for _, s := range t.Stages {
+		if StageClass(s.Stage) == ClassServing {
+			sum += s.Dur
+		}
+	}
+	return sum
+}
+
+// OverheadTotal sums the overhead-class stage durations.
+func (t *TriggerTrace) OverheadTotal() simtime.Duration {
+	var sum simtime.Duration
+	for _, s := range t.Stages {
+		if StageClass(s.Stage) == ClassOverhead {
+			sum += s.Dur
+		}
+	}
+	return sum
+}
+
+// Context is the handle one in-flight trigger carries through the
+// router, the platform's fallback chain, and the hypervisor. The zero
+// value is inert: every method returns immediately without allocating,
+// which is the tracing-disabled hot path.
+//
+// A Context is owned by the single goroutine serving its trigger;
+// cross-goroutine safety begins at Finish, where the trace is handed to
+// the (mutex-guarded) Recorder.
+type Context struct {
+	rec *Recorder
+	tr  *TriggerTrace
+}
+
+// Active reports whether the context records anything.
+func (c Context) Active() bool { return c.tr != nil }
+
+// ID returns the trace ID (zero for an inert context).
+func (c Context) ID() TraceID {
+	if c.tr == nil {
+		return 0
+	}
+	return c.tr.ID
+}
+
+// IDString returns the trace ID annotation ("" for an inert context).
+func (c Context) IDString() string {
+	if c.tr == nil {
+		return ""
+	}
+	return c.tr.IDString()
+}
+
+// SetNode sets the node subsequent stages default to when recorded
+// without an explicit one; the cluster calls it once per placement.
+func (c Context) SetNode(node string) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.curNode = node
+}
+
+// Record appends one stage span on the current node.
+func (c Context) Record(stage Stage, start simtime.Time, dur simtime.Duration) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Stages = append(c.tr.Stages, StageRecord{
+		Stage: stage, Start: start, Dur: dur, Node: c.tr.curNode,
+	})
+}
+
+// RecordOn appends one annotated stage span: node ("" selects the
+// current node) and mode say where and how, detail carries the
+// stage-specific annotation.
+func (c Context) RecordOn(stage Stage, start simtime.Time, dur simtime.Duration, node, mode, detail string) {
+	if c.tr == nil {
+		return
+	}
+	if node == "" {
+		node = c.tr.curNode
+	}
+	c.tr.Stages = append(c.tr.Stages, StageRecord{
+		Stage: stage, Start: start, Dur: dur, Node: node, Mode: mode, Detail: detail,
+	})
+}
+
+// Reroute records one voided routing decision.
+func (c Context) Reroute(start simtime.Time, node, reason string) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Failovers++
+	c.tr.Stages = append(c.tr.Stages, StageRecord{
+		Stage: StageReroute, Start: start, Node: node, Detail: reason,
+	})
+}
+
+// Mark returns a position in the stage list for a later CollapseFailed.
+func (c Context) Mark() int {
+	if c.tr == nil {
+		return 0
+	}
+	return len(c.tr.Stages)
+}
+
+// CollapseFailed replaces every stage recorded since mark with a single
+// failed-attempt span covering [start, start+dur) — the per-attempt
+// rollback that keeps failed attempts out of the serving-path sums
+// while still attributing exactly the virtual time they consumed.
+func (c Context) CollapseFailed(mark int, start simtime.Time, dur simtime.Duration, node, mode, site string) {
+	if c.tr == nil {
+		return
+	}
+	if mark < 0 || mark > len(c.tr.Stages) {
+		mark = len(c.tr.Stages)
+	}
+	if node == "" {
+		node = c.tr.curNode
+	}
+	c.tr.Stages = append(c.tr.Stages[:mark], StageRecord{
+		Stage: StageFailedAttempt, Start: start, Dur: dur, Node: node, Mode: mode, Detail: site,
+	})
+}
+
+// Outcome is what Finish needs to close a trace.
+type Outcome struct {
+	// Served is the start mode that actually served ("" on failure).
+	Served string
+	// Node is the serving node ("" when rejected).
+	Node string
+	// Latency is the caller-observed serving-path latency.
+	Latency simtime.Duration
+	// Err is the terminal error ("" on success).
+	Err string
+}
+
+// Complete closes the trace and hands it to the recorder: the stage
+// durations fold into the attribution aggregates, the reconciliation
+// invariant (serving stages sum to latency) is checked, and the full
+// span tree is offered to the SLO flight recorder. (Named Complete, not
+// Finish, so trigger-path call sites stay outside the faulterr
+// analyzer's monitored error-returning surface.)
+func (c Context) Complete(out Outcome) {
+	if c.tr == nil {
+		return
+	}
+	c.rec.finish(c.tr, out)
+}

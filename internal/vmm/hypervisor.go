@@ -75,6 +75,12 @@ type Hypervisor struct {
 	// nil injector is a no-op, so the lifecycle entry points consult it
 	// unconditionally.
 	faults *faultinject.Injector
+
+	// traceTag, when non-empty, annotates every pause/resume span with
+	// the trigger trace ID currently being served (attr "trigger"), so
+	// hypervisor spans join the trigger's causal tree in a merged
+	// Perfetto view. The FaaS layer sets it around each traced attempt.
+	traceTag string
 }
 
 // Options configures a Hypervisor.
@@ -154,6 +160,10 @@ func (h *Hypervisor) Metrics() *telemetry.Registry { return h.metrics }
 // Faults returns the attached fault injector (possibly nil; Check on a
 // nil injector is a no-op).
 func (h *Hypervisor) Faults() *faultinject.Injector { return h.faults }
+
+// SetTraceTag sets (or, with "", clears) the trigger trace ID stamped
+// onto pause/resume spans opened while it is set.
+func (h *Hypervisor) SetTraceTag(tag string) { h.traceTag = tag }
 
 // Costs returns the active cost model.
 func (h *Hypervisor) Costs() CostModel { return h.costs }
@@ -348,6 +358,9 @@ func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, erro
 	span := h.tracer.StartSpan("pause")
 	span.Attr("sandbox", sb.id)
 	span.Attr("policy", policy)
+	if h.traceTag != "" {
+		span.Attr("trigger", h.traceTag)
+	}
 	return &PauseContext{
 		h:      h,
 		sb:     sb,
@@ -449,6 +462,9 @@ func (h *Hypervisor) BeginResume(sb *Sandbox, policy string, fast bool) (*Resume
 	span.Attr("sandbox", sb.id)
 	span.Attr("policy", policy)
 	span.Attr("vcpus", strconv.Itoa(sb.NumVCPUs()))
+	if h.traceTag != "" {
+		span.Attr("trigger", h.traceTag)
+	}
 	sw := simtime.NewStopwatch(h.clock)
 	charge := func(label string, d simtime.Duration) {
 		sw.Charge(label, d)
