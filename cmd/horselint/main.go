@@ -17,6 +17,16 @@
 //	             check or a return on every path (flow-sensitive)
 //	maporder   — no map-iteration-derived value in ordered output
 //	             without an intervening sort (flow-sensitive)
+//	hotpath    — //horselint:hotpath functions must be transitively
+//	             allocation-free (interprocedural, summary-based)
+//	hotanno    — hotpath annotations must be well-formed, unique, and
+//	             attached to production function declarations
+//	allocpin   — every hotpath function needs a testing.AllocsPerRun
+//	             pin in its package's tests
+//
+// -only and -skip scope a run to a comma-separated subset of analyzers
+// (mutually exclusive; unknown names are usage errors), so CI and local
+// runs can isolate one invariant.
 //
 // A finding can be suppressed per line with
 // //horselint:allow-<analyzer> <reason>; the reason is mandatory, and
@@ -29,7 +39,12 @@
 // churn the file); -baseline FILE then suppresses exactly that many
 // known findings per key, so new debt fails while legacy debt is paid
 // down incrementally. -timing FILE writes a BENCH-style JSON report of
-// the run's wall time for CI trend tracking.
+// the run's wall time, split per analyzer, for CI trend tracking.
+//
+// -allows FILE gates suppression debt: the run fails if any analyzer's
+// //horselint:allow-* directive count exceeds the count recorded in
+// FILE, so adding an escape hatch requires a deliberate baseline update
+// (-write-allows FILE regenerates it).
 //
 // Exit status: 0 clean, 1 findings, 2 usage, load, or directive errors.
 package main
@@ -43,11 +58,16 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
+	"github.com/horse-faas/horse/internal/analysis/allocpin"
 	"github.com/horse-faas/horse/internal/analysis/costcharge"
 	"github.com/horse-faas/horse/internal/analysis/detrand"
 	"github.com/horse-faas/horse/internal/analysis/faulterr"
+	"github.com/horse-faas/horse/internal/analysis/hotanno"
+	"github.com/horse-faas/horse/internal/analysis/hotpath"
 	"github.com/horse-faas/horse/internal/analysis/lint"
 	"github.com/horse-faas/horse/internal/analysis/lockcharge"
 	"github.com/horse-faas/horse/internal/analysis/maporder"
@@ -80,21 +100,35 @@ type timingReport struct {
 	GOARCH      string `json:"goarch"`
 	Go          string `json:"go"`
 	Budget      struct {
-		MaxWallMS int64 `json:"max_wall_ms"`
+		MaxWallMS         int64 `json:"max_wall_ms"`
+		MaxAnalyzerWallMS int64 `json:"max_analyzer_wall_ms"`
 	} `json:"budget"`
 	Results struct {
-		Packages  int     `json:"packages"`
-		Files     int     `json:"files"`
-		Analyzers int     `json:"analyzers"`
-		Findings  int     `json:"findings"`
-		WallMS    float64 `json:"wall_ms"`
+		Packages   int                `json:"packages"`
+		Files      int                `json:"files"`
+		Analyzers  int                `json:"analyzers"`
+		Findings   int                `json:"findings"`
+		WallMS     float64            `json:"wall_ms"`
+		AnalyzerMS map[string]float64 `json:"analyzer_ms"`
 	} `json:"results"`
 }
 
-// timingBudgetMS is the advisory wall-time ceiling recorded in -timing
-// reports: syntax-only analysis of this repository should stay well
-// under it on any CI machine.
-const timingBudgetMS = 30000
+// timingBudgetMS is the wall-time ceiling recorded in -timing reports
+// and enforced per run: syntax-only analysis of this repository should
+// stay well under it on any CI machine. analyzerBudgetMS bounds any
+// single analyzer (including the one that pays for the shared call
+// graph and summary construction).
+const (
+	timingBudgetMS   = 30000
+	analyzerBudgetMS = 15000
+)
+
+// allowsFile is the -allows / -write-allows JSON shape: the accepted
+// number of reasoned //horselint:allow-* directives per analyzer.
+type allowsFile struct {
+	Version int            `json:"version"`
+	Allows  map[string]int `json:"allows"`
+}
 
 func analyzers() []*lint.Analyzer {
 	return []*lint.Analyzer{
@@ -105,7 +139,61 @@ func analyzers() []*lint.Analyzer {
 		lockcharge.Default(),
 		faulterr.Default(),
 		maporder.Default(),
+		hotpath.Default(),
+		hotanno.Default(),
+		allocpin.Default(),
 	}
+}
+
+// filterAnalyzers applies the -only / -skip selections. Unknown names in
+// either list are reported as usage errors.
+func filterAnalyzers(as []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, error) {
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		names := map[string]bool{}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			found := false
+			for _, a := range as {
+				if a.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("%s: unknown analyzer %q", flagName, name)
+			}
+			names[name] = true
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("%s: no analyzer names given", flagName)
+		}
+		return names, nil
+	}
+	onlySet, err := parse("-only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("-skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var kept []*lint.Analyzer
+	for _, a := range as {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept, nil
 }
 
 func main() {
@@ -119,8 +207,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "suppress the known findings recorded in this baseline `file`")
 	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline `file` and exit 0")
 	timingPath := fs.String("timing", "", "write a BENCH-style JSON wall-time report to this `file`")
+	onlyList := fs.String("only", "", "run only these `analyzers` (comma-separated)")
+	skipList := fs.String("skip", "", "skip these `analyzers` (comma-separated)")
+	allowsPath := fs.String("allows", "", "fail if //horselint:allow-* counts exceed this baseline `file`")
+	writeAllows := fs.String("write-allows", "", "record current //horselint:allow-* counts to this baseline `file` and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: horselint [-json] [-baseline file | -write-baseline file] [-timing file] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: horselint [-json] [-only names | -skip names] [-baseline file | -write-baseline file] [-allows file | -write-allows file] [-timing file] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the HORSE invariant analyzers over package patterns (default ./...).\n")
 		fs.PrintDefaults()
 	}
@@ -131,12 +223,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "horselint: -baseline and -write-baseline are mutually exclusive")
 		return 2
 	}
+	if *onlyList != "" && *skipList != "" {
+		fmt.Fprintln(stderr, "horselint: -only and -skip are mutually exclusive")
+		return 2
+	}
+	if *allowsPath != "" && *writeAllows != "" {
+		fmt.Fprintln(stderr, "horselint: -allows and -write-allows are mutually exclusive")
+		return 2
+	}
 	patterns := fs.Args()
 
-	as := analyzers()
+	// Directive validation and the allow-count gate always see the full
+	// analyzer set: scoping a run with -only must not turn suppressions
+	// for the other analyzers into unknown-name errors.
+	all := analyzers()
 	known := map[string]bool{}
-	for _, a := range as {
+	for _, a := range all {
 		known[a.Name] = true
+	}
+	as, err := filterAnalyzers(all, *onlyList, *skipList)
+	if err != nil {
+		fmt.Fprintf(stderr, "horselint: %v\n", err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -171,7 +279,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := lint.Run(fset, pkgs, as)
+	if *writeAllows != "" {
+		al := allowsFile{Version: 1, Allows: lint.CountDirectives(pkgs)}
+		total := 0
+		for _, n := range al.Allows {
+			total += n
+		}
+		if err := writeAllowsFile(*writeAllows, al); err != nil {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "horselint: wrote allow-directive baseline of %d directive(s) to %s\n", total, *writeAllows)
+		return 0
+	}
+	if *allowsPath != "" {
+		grown, err := checkAllows(*allowsPath, lint.CountDirectives(pkgs))
+		if err != nil {
+			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+		if len(grown) > 0 {
+			for _, g := range grown {
+				fmt.Fprintln(stderr, g)
+			}
+			fmt.Fprintf(stderr, "horselint: allow-directive count grew for %d analyzer(s); update %s deliberately if the new suppression is justified\n", len(grown), *allowsPath)
+			return 1
+		}
+	}
+
+	diags, timings, err := lint.RunTimed(fset, pkgs, as)
 	if err != nil {
 		fmt.Fprintf(stderr, "horselint: %v\n", err)
 		return 2
@@ -180,8 +316,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	elapsed := time.Since(start)
 
 	if *timingPath != "" {
-		if err := writeTiming(*timingPath, pkgs, len(as), len(diags), elapsed); err != nil {
+		if err := writeTiming(*timingPath, pkgs, timings, len(diags), elapsed); err != nil {
 			fmt.Fprintf(stderr, "horselint: %v\n", err)
+			return 2
+		}
+		if over := overBudget(timings, elapsed); len(over) > 0 {
+			for _, o := range over {
+				fmt.Fprintln(stderr, "horselint: "+o)
+			}
 			return 2
 		}
 	}
@@ -301,23 +443,80 @@ func readBaselineFile(path string) (baselineFile, error) {
 	return bl, nil
 }
 
-func writeTiming(path string, pkgs []*lint.Package, analyzers, findings int, elapsed time.Duration) error {
+func writeTiming(path string, pkgs []*lint.Package, timings []lint.AnalyzerTiming, findings int, elapsed time.Duration) error {
 	var r timingReport
-	r.Description = "horselint wall time over the repository (syntax-only load + all analyzers). Regenerate with: go run ./cmd/horselint -timing BENCH_lint.json ./..."
+	r.Description = "horselint wall time over the repository (syntax-only load + all analyzers, split per analyzer; interprocedural artifact construction bills to the first analyzer that needs it). Regenerate with: go run ./cmd/horselint -timing BENCH_lint.json ./..."
 	r.GOOS = runtime.GOOS
 	r.GOARCH = runtime.GOARCH
 	r.Go = runtime.Version()
 	r.Budget.MaxWallMS = timingBudgetMS
+	r.Budget.MaxAnalyzerWallMS = analyzerBudgetMS
 	r.Results.Packages = len(pkgs)
 	for _, p := range pkgs {
 		r.Results.Files += len(p.Files)
 	}
-	r.Results.Analyzers = analyzers
+	r.Results.Analyzers = len(timings)
 	r.Results.Findings = findings
 	r.Results.WallMS = float64(elapsed.Microseconds()) / 1000
+	r.Results.AnalyzerMS = map[string]float64{}
+	for _, t := range timings {
+		r.Results.AnalyzerMS[t.Name] = float64(t.Wall.Microseconds()) / 1000
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// overBudget lists human-readable violations of the wall-clock budgets.
+func overBudget(timings []lint.AnalyzerTiming, elapsed time.Duration) []string {
+	var over []string
+	if ms := elapsed.Milliseconds(); ms > timingBudgetMS {
+		over = append(over, fmt.Sprintf("run took %dms, over the %dms budget", ms, timingBudgetMS))
+	}
+	for _, t := range timings {
+		if ms := t.Wall.Milliseconds(); ms > analyzerBudgetMS {
+			over = append(over, fmt.Sprintf("analyzer %s took %dms, over the %dms per-analyzer budget", t.Name, ms, analyzerBudgetMS))
+		}
+	}
+	return over
+}
+
+func writeAllowsFile(path string, al allowsFile) error {
+	data, err := json.MarshalIndent(al, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkAllows compares the current allow-directive counts against the
+// recorded baseline and describes every analyzer whose count grew.
+// Shrinking counts pass (paying down suppression debt never needs a
+// baseline edit first).
+func checkAllows(path string, counts map[string]int) ([]string, error) {
+	var al allowsFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &al); err != nil {
+		return nil, fmt.Errorf("allows baseline %s: %w", path, err)
+	}
+	if al.Version != 1 {
+		return nil, fmt.Errorf("allows baseline %s: unsupported version %d", path, al.Version)
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var grown []string
+	for _, name := range names {
+		if counts[name] > al.Allows[name] {
+			grown = append(grown, fmt.Sprintf("horselint: %d horselint:allow-%s directive(s) in tree, baseline accepts %d", counts[name], name, al.Allows[name]))
+		}
+	}
+	return grown, nil
 }

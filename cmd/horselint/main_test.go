@@ -213,4 +213,160 @@ func TestTimingReport(t *testing.T) {
 	if r.Results.WallMS < 0 || r.Budget.MaxWallMS != timingBudgetMS {
 		t.Errorf("timing wall/budget = %+v", r)
 	}
+	if r.Budget.MaxAnalyzerWallMS != analyzerBudgetMS {
+		t.Errorf("per-analyzer budget = %d, want %d", r.Budget.MaxAnalyzerWallMS, analyzerBudgetMS)
+	}
+	if len(r.Results.AnalyzerMS) != len(analyzers()) {
+		t.Errorf("analyzer_ms has %d entries, want one per analyzer (%d)", len(r.Results.AnalyzerMS), len(analyzers()))
+	}
+	for _, a := range analyzers() {
+		if ms, ok := r.Results.AnalyzerMS[a.Name]; !ok || ms < 0 {
+			t.Errorf("analyzer_ms[%q] = %v, %v; want a non-negative entry", a.Name, ms, ok)
+		}
+	}
+}
+
+// TestOnlySkipFilter pins the analyzer-scoping flags: -only runs just
+// the named analyzers, -skip runs everything else, unknown names and
+// combining the two are usage errors.
+func TestOnlySkipFilter(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "p.go"), violating)
+	chdir(t, dir)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-only", "faulterr"}, &out, &errBuf); code != 1 {
+		t.Fatalf("-only faulterr exit = %d, want 1\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "error result of DestroySandbox is discarded") {
+		t.Errorf("-only faulterr should keep the faulterr finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-only", "wallclock,detrand"}, &out, &errBuf); code != 0 {
+		t.Errorf("-only wallclock,detrand exit = %d, want 0 (faulterr not run)\nstdout: %s", code, out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-skip", "faulterr"}, &out, &errBuf); code != 0 {
+		t.Errorf("-skip faulterr exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-only", "nonesuch"}, &out, &errBuf); code != 2 {
+		t.Errorf("-only nonesuch exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), `unknown analyzer "nonesuch"`) {
+		t.Errorf("stderr should name the unknown analyzer: %s", errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-only", "faulterr", "-skip", "wallclock"}, &out, &errBuf); code != 2 {
+		t.Errorf("-only with -skip exit = %d, want 2", code)
+	}
+}
+
+// TestOnlyKeepsDirectivesKnown pins that scoping a run does not turn
+// suppression directives for the unselected analyzers into
+// unknown-analyzer configuration errors.
+func TestOnlyKeepsDirectivesKnown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "p.go"), `package p
+
+type hv struct{}
+
+func (hv) DestroySandbox() error { return nil }
+
+func f(h hv) {
+	h.DestroySandbox() //horselint:allow-faulterr teardown is best-effort here
+}
+`)
+	chdir(t, dir)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-only", "wallclock"}, &out, &errBuf); code != 0 {
+		t.Errorf("-only wallclock with a faulterr directive exit = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+}
+
+// TestAllowsGate pins the suppression-debt gate: recorded counts pass,
+// growth fails with the analyzer named, and paying debt down passes
+// without a baseline edit.
+func TestAllowsGate(t *testing.T) {
+	dir := t.TempDir()
+	suppressed := `package p
+
+type hv struct{}
+
+func (hv) DestroySandbox() error { return nil }
+
+func f(h hv) {
+	h.DestroySandbox() //horselint:allow-faulterr teardown is best-effort here
+}
+`
+	write(t, filepath.Join(dir, "p.go"), suppressed)
+	chdir(t, dir)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-write-allows", "allows.json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-write-allows exit = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "allows.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var al allowsFile
+	if err := json.Unmarshal(data, &al); err != nil {
+		t.Fatalf("allows baseline is not valid JSON: %v", err)
+	}
+	if al.Version != 1 || al.Allows["faulterr"] != 1 {
+		t.Fatalf("allows baseline = %+v, want version 1 with faulterr count 1", al)
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-allows", "allows.json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-allows at recorded count exit = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+
+	// A second suppression without a baseline update fails the gate.
+	write(t, filepath.Join(dir, "q.go"), `package p
+
+func g(h hv) {
+	h.DestroySandbox() //horselint:allow-faulterr teardown is best-effort here too
+}
+`)
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-allows", "allows.json"}, &out, &errBuf); code != 1 {
+		t.Fatalf("-allows with grown count exit = %d, want 1\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "allow-faulterr") || !strings.Contains(errBuf.String(), "baseline accepts 1") {
+		t.Errorf("stderr should name the grown analyzer and the accepted count:\n%s", errBuf.String())
+	}
+
+	// Paying debt down passes without touching the baseline.
+	if err := os.Remove(filepath.Join(dir, "p.go")); err != nil {
+		t.Fatal(err)
+	}
+	write(t, filepath.Join(dir, "p.go"), `package p
+
+type hv struct{}
+
+func (hv) DestroySandbox() error { return nil }
+`)
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-allows", "allows.json"}, &out, &errBuf); code != 0 {
+		t.Errorf("-allows after paying debt down exit = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-allows", "a", "-write-allows", "b"}, &out, &errBuf); code != 2 {
+		t.Errorf("-allows with -write-allows exit = %d, want 2", code)
+	}
 }

@@ -1,0 +1,105 @@
+// Package allocpin keeps the static and the dynamic views of the hot
+// path in agreement: every function annotated //horselint:hotpath must
+// be covered by a testing.AllocsPerRun pin in its own package's tests.
+// The hotpath analyzer proves the function allocation-free by
+// interprocedural summary; the pin measures it (the repo convention is
+// to assert the result is exactly 0). A function with a static verdict
+// but no measurement — or vice versa — is exactly how the two drift
+// apart, so the analyzer reports annotated functions whose name is
+// never called inside an AllocsPerRun function literal in the package's
+// _test.go files.
+//
+// Matching is by bare name (the loader is syntax-only): a call to the
+// function or method name anywhere inside an AllocsPerRun literal
+// counts as the pin.
+package allocpin
+
+import (
+	"go/ast"
+
+	"github.com/horse-faas/horse/internal/analysis/hotpath"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// New returns the allocpin analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "allocpin",
+		Doc: "every //horselint:hotpath function needs a testing.AllocsPerRun pin in its " +
+			"package's tests, so static verdict and measured allocation count stay in sync",
+		Run: run,
+	}
+}
+
+// Default returns the analyzer as wired into cmd/horselint.
+func Default() *lint.Analyzer { return New() }
+
+func run(pass *lint.Pass) error {
+	pinned := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		if !f.Test {
+			continue
+		}
+		collectPins(f, pinned)
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, ann := range hotpath.Annotations(f) {
+			if !pinned[ann.Func.Name.Name] {
+				pass.Reportf(ann.Func.Pos(),
+					"hot-path function %s has no testing.AllocsPerRun pin in this package's tests",
+					ann.DisplayName())
+			}
+		}
+	}
+	return nil
+}
+
+// collectPins records every function and method name called inside an
+// AllocsPerRun function-literal argument of the file.
+func collectPins(f *lint.File, pinned map[string]bool) {
+	testingNames := f.ImportedAs("testing")
+	isTesting := func(name string) bool {
+		for _, n := range testingNames {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || !isTesting(id.Name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(lit, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := inner.Fun.(type) {
+				case *ast.Ident:
+					pinned[fun.Name] = true
+				case *ast.SelectorExpr:
+					pinned[fun.Sel.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package allocpin_test
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/allocpin"
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+)
+
+func TestAllocpin(t *testing.T) {
+	analysistest.Run(t, "testdata", allocpin.Default())
+}

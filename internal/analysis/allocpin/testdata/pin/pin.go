@@ -1,0 +1,12 @@
+package pin
+
+//horselint:hotpath
+func covered(a int) int { return a + 1 }
+
+type gauge struct{ v int }
+
+//horselint:hotpath
+func (g *gauge) set(v int) { g.v = v }
+
+//horselint:hotpath
+func uncovered() int { return 2 } // want `hot-path function uncovered has no testing.AllocsPerRun pin`

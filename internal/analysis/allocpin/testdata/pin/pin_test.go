@@ -1,0 +1,13 @@
+package pin
+
+import "testing"
+
+func TestHotPathAllocFree(t *testing.T) {
+	g := &gauge{}
+	if n := testing.AllocsPerRun(10, func() {
+		_ = covered(1)
+		g.set(2)
+	}); n != 0 {
+		t.Fatalf("allocs/op = %v, want 0", n)
+	}
+}

@@ -1,0 +1,439 @@
+// Package callgraph builds a deterministic, best-effort call graph over
+// a loaded lint package set, using syntax alone (the hermetic loader
+// performs no type checking). The graph is the substrate for the
+// bottom-up function summaries in internal/analysis/summary and for the
+// interprocedural analyzers (hotpath, faulterr, lockcharge).
+//
+// Resolution is necessarily approximate without types, so it is layered
+// hottest-confidence first:
+//
+//   - direct calls to package-level functions (same package, or through
+//     a package-qualified selector into another loaded package) resolve
+//     statically;
+//   - method calls resolve through a small local type environment
+//     (receiver, parameters, var declarations, :=, struct-field and
+//     call-result propagation) to a concrete method when the receiver's
+//     named type is known and declared in the package set;
+//   - method calls whose receiver type is unknown, or whose static type
+//     is an interface, fan out to every same-named method in the
+//     package set (interface dispatch; a single concrete implementation
+//     resolves exactly);
+//   - calls into packages outside the set become external edges keyed by
+//     a stable textual target ("fmt.Sprintf", "sync.(Mutex).Lock");
+//   - calls of local function values stay dynamic (unresolved).
+//
+// Function literals are first-class nodes named parent$1, parent$2, …
+// in source order (matching the cfg package's naming); a literal that is
+// invoked on the spot contributes a static call edge, any other
+// appearance contributes a closure edge. Method values and references
+// to package-level functions in non-call position contribute ref edges:
+// the function may be called through the captured value, so clients
+// that need soundness treat every edge kind as "may call".
+//
+// Determinism: nodes are created in (package, file, declaration) order,
+// edges in source order, interface fan-out in sorted-ID order, and
+// Tarjan's SCC condensation visits nodes in creation order, yielding a
+// stable bottom-up (callees-before-callers) component order for the
+// summary fixpoint.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Kind classifies how a call edge was resolved.
+type Kind int
+
+// The edge kinds, strongest resolution first.
+const (
+	// Static is a direct call to a package-level function in the set.
+	Static Kind = iota
+	// Method is a method call whose receiver type resolved to a
+	// concrete declared type in the set.
+	Method
+	// Iface is one candidate of an interface (or unresolved-receiver)
+	// dispatch: the callee is a same-named method in the package set.
+	Iface
+	// Closure marks a function literal that escapes its creation site
+	// (stored, passed, returned) rather than being invoked on the spot.
+	Closure
+	// Ref marks a method value or a package-level function referenced
+	// in non-call position; the target may be called later.
+	Ref
+	// External is a call leaving the package set; Target names it.
+	External
+	// Dynamic is a call through a local function value or an
+	// expression the resolver cannot name.
+	Dynamic
+)
+
+// String returns the kind's dump name.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Method:
+		return "method"
+	case Iface:
+		return "iface"
+	case Closure:
+		return "closure"
+	case Ref:
+		return "ref"
+	case External:
+		return "external"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Edge is one outgoing call (or reference) from a function.
+type Edge struct {
+	Kind Kind
+	// Callee is the resolved target for Static/Method/Iface/Closure/Ref
+	// edges, nil otherwise.
+	Callee *Node
+	// Target is the stable textual target for External ("fmt.Sprintf",
+	// "sync.(Mutex).Lock", "builtin.append") and Dynamic edges.
+	Target string
+	// Call is the call expression for call edges (nil for Closure/Ref).
+	Call *ast.CallExpr
+	// Pos anchors the edge for diagnostics.
+	Pos token.Pos
+}
+
+// Describe names the edge target for diagnostics and dumps.
+func (e Edge) Describe() string {
+	if e.Callee != nil {
+		return e.Callee.ID
+	}
+	return e.Target
+}
+
+// Node is one function, method, or function literal in the set.
+type Node struct {
+	// ID is the stable identifier: pkgpath.Func, pkgpath.(Recv).Method,
+	// or parentID$N for function literals.
+	ID string
+	// Pkg and File locate the declaration.
+	Pkg  *lint.Package
+	File *lint.File
+	// Decl is the *ast.FuncDecl or *ast.FuncLit.
+	Decl ast.Node
+	// Name is the bare function or method name ("$N" suffixed names for
+	// literals); Recv is the receiver's named type ("" for functions).
+	Name string
+	Recv string
+	// Out lists the node's outgoing edges in source order.
+	Out []Edge
+	// SCC indexes the node's strongly connected component in Graph.SCCs.
+	SCC int
+}
+
+// Body returns the function's body block (nil for bodyless decls).
+func (n *Node) Body() *ast.BlockStmt {
+	switch d := n.Decl.(type) {
+	case *ast.FuncDecl:
+		return d.Body
+	case *ast.FuncLit:
+		return d.Body
+	}
+	return nil
+}
+
+// Type returns the function's signature.
+func (n *Node) Type() *ast.FuncType {
+	switch d := n.Decl.(type) {
+	case *ast.FuncDecl:
+		return d.Type
+	case *ast.FuncLit:
+		return d.Type
+	}
+	return nil
+}
+
+// Graph is the call graph of one package set.
+type Graph struct {
+	// Nodes maps ID to node.
+	Nodes map[string]*Node
+	// Order lists nodes in deterministic creation order.
+	Order []*Node
+	// SCCs is the condensation in bottom-up order: every edge that
+	// leaves a component points to an earlier component, so a single
+	// left-to-right pass visits callees before callers.
+	SCCs [][]*Node
+
+	byDecl map[ast.Node]*Node
+	byCall map[*ast.CallExpr][]Edge
+}
+
+// NodeOf returns the node for a FuncDecl or FuncLit, or nil.
+func (g *Graph) NodeOf(decl ast.Node) *Node { return g.byDecl[decl] }
+
+// EdgesAt returns the edges resolved for one call expression.
+func (g *Graph) EdgesAt(call *ast.CallExpr) []Edge { return g.byCall[call] }
+
+// Of returns the package set's call graph, built once per program and
+// memoized.
+func Of(prog *lint.Program) *Graph {
+	return prog.Cached("callgraph", func() any {
+		return Build(prog.Fset, prog.Pkgs)
+	}).(*Graph)
+}
+
+// Build constructs the call graph of the package set.
+func Build(fset *token.FileSet, pkgs []*lint.Package) *Graph {
+	b := &builder{
+		fset:    fset,
+		pkgs:    pkgs,
+		graph:   &Graph{Nodes: map[string]*Node{}, byDecl: map[ast.Node]*Node{}, byCall: map[*ast.CallExpr][]Edge{}},
+		funcs:   map[string]map[string]*Node{},
+		methods: map[string]map[string]map[string]*Node{},
+		byName:  map[string][]*Node{},
+		types:   map[string]map[string]*typeDecl{},
+		pkgvars: map[string]map[string]*typeRef{},
+		envs:    map[*Node]*env{},
+	}
+	b.index()
+	b.resolve()
+	b.condense()
+	return b.graph
+}
+
+// typeDecl is a named type declaration with its file context (imports
+// are per-file, so resolving a field's type needs the declaring file).
+type typeDecl struct {
+	spec *ast.TypeSpec
+	file *lint.File
+}
+
+type builder struct {
+	fset  *token.FileSet
+	pkgs  []*lint.Package
+	graph *Graph
+
+	funcs   map[string]map[string]*Node            // pkg path -> func name -> node
+	methods map[string]map[string]map[string]*Node // pkg path -> recv type -> method -> node
+	byName  map[string][]*Node                     // method name -> nodes (sorted by ID)
+	types   map[string]map[string]*typeDecl        // pkg path -> type name -> decl
+	pkgvars map[string]map[string]*typeRef         // pkg path -> var name -> declared type
+	envs    map[*Node]*env                         // pre-seeded envs for function literals
+}
+
+// recvTypeName extracts the receiver's named type from a receiver field
+// list ("" if absent or unnameable).
+func recvTypeName(fl *ast.FieldList) string {
+	if fl == nil || len(fl.List) == 0 {
+		return ""
+	}
+	t := fl.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// index registers every function, method, named type, and explicitly
+// typed package-level variable.
+func (b *builder) index() {
+	for _, pkg := range b.pkgs {
+		b.funcs[pkg.Path] = map[string]*Node{}
+		b.methods[pkg.Path] = map[string]map[string]*Node{}
+		b.types[pkg.Path] = map[string]*typeDecl{}
+		b.pkgvars[pkg.Path] = map[string]*typeRef{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					b.addFunc(pkg, f, d)
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						b.types[pkg.Path][ts.Name.Name] = &typeDecl{spec: ts, file: f}
+					}
+				}
+			}
+		}
+	}
+	// Package-level variables resolve in a second pass so their type
+	// expressions can see every named type.
+	for _, pkg := range b.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				d, ok := decl.(*ast.GenDecl)
+				if !ok || d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil {
+						continue
+					}
+					tr := b.resolveTypeExpr(f, pkg.Path, vs.Type)
+					if tr == nil {
+						continue
+					}
+					for _, name := range vs.Names {
+						b.pkgvars[pkg.Path][name.Name] = tr
+					}
+				}
+			}
+		}
+	}
+	for name, nodes := range b.byName {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		b.byName[name] = nodes
+	}
+}
+
+func (b *builder) addFunc(pkg *lint.Package, f *lint.File, d *ast.FuncDecl) {
+	recv := recvTypeName(d.Recv)
+	id := pkg.Path + "." + d.Name.Name
+	if recv != "" {
+		id = pkg.Path + ".(" + recv + ")." + d.Name.Name
+	}
+	n := &Node{ID: id, Pkg: pkg, File: f, Decl: d, Name: d.Name.Name, Recv: recv}
+	b.addNode(n)
+	if recv == "" {
+		b.funcs[pkg.Path][d.Name.Name] = n
+	} else {
+		m := b.methods[pkg.Path][recv]
+		if m == nil {
+			m = map[string]*Node{}
+			b.methods[pkg.Path][recv] = m
+		}
+		m[d.Name.Name] = n
+		b.byName[d.Name.Name] = append(b.byName[d.Name.Name], n)
+	}
+}
+
+func (b *builder) addNode(n *Node) {
+	b.graph.Nodes[n.ID] = n
+	b.graph.Order = append(b.graph.Order, n)
+	b.graph.byDecl[n.Decl] = n
+}
+
+// resolve walks every function body and records its edges. Bodies are
+// walked in creation order; function-literal nodes are appended as they
+// are encountered, and their own bodies resolved in turn.
+func (b *builder) resolve() {
+	for i := 0; i < len(b.graph.Order); i++ {
+		n := b.graph.Order[i]
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		e := b.envs[n]
+		if e == nil {
+			e = newEnv(b, n)
+		}
+		e.scan(body)
+		w := &walker{b: b, node: n, env: e}
+		w.block(body)
+	}
+}
+
+// condense runs Tarjan's algorithm, emitting components in bottom-up
+// order (a component is finished only after everything it reaches).
+func (b *builder) condense() {
+	g := b.graph
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	next := 0
+
+	var strong func(n *Node)
+	strong = func(n *Node) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, e := range n.Out {
+			c := e.Callee
+			if c == nil {
+				continue
+			}
+			if _, seen := index[c]; !seen {
+				strong(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i].ID < comp[j].ID })
+			for _, m := range comp {
+				m.SCC = len(g.SCCs)
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	for _, n := range g.Order {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+}
+
+// Dump renders the graph in its golden form: one block per node in
+// creation order listing edges, then the non-trivial SCCs bottom-up.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, n := range g.Order {
+		sb.WriteString(n.ID + "\n")
+		for _, e := range n.Out {
+			fmt.Fprintf(&sb, "  -> %s %s\n", e.Describe(), e.Kind)
+		}
+	}
+	for _, comp := range g.SCCs {
+		if len(comp) < 2 {
+			continue
+		}
+		ids := make([]string, len(comp))
+		for i, n := range comp {
+			ids[i] = n.ID
+		}
+		fmt.Fprintf(&sb, "scc [%s]\n", strings.Join(ids, " "))
+	}
+	return sb.String()
+}

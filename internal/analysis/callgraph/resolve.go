@@ -1,0 +1,598 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// typeRef is the resolver's view of a static type: a named type from a
+// known package (pointers stripped), or an anonymous container whose
+// element type matters for index/range propagation. A nil *typeRef
+// means "unknown".
+type typeRef struct {
+	pkg, name string   // named type; both empty for pure containers
+	elem      *typeRef // slice/array/map-value/chan element, variadic base
+}
+
+// named reports whether the ref names a type.
+func (t *typeRef) named() bool { return t != nil && t.name != "" }
+
+// builtinFuncs are the predeclared functions.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+// builtinTypes are the predeclared types (conversion targets).
+var builtinTypes = map[string]bool{
+	"any": true, "bool": true, "byte": true, "complex64": true,
+	"complex128": true, "error": true, "float32": true, "float64": true,
+	"int": true, "int8": true, "int16": true, "int32": true,
+	"int64": true, "rune": true, "string": true, "uint": true,
+	"uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true,
+}
+
+// loaded reports whether the import path belongs to the package set.
+func (b *builder) loaded(path string) bool {
+	_, ok := b.funcs[path]
+	return ok
+}
+
+// resolveTypeExpr maps a syntactic type expression to a typeRef, using
+// the declaring file's imports for package qualifiers.
+func (b *builder) resolveTypeExpr(file *lint.File, pkgPath string, e ast.Expr) *typeRef {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return b.resolveTypeExpr(file, pkgPath, x.X)
+	case *ast.StarExpr:
+		return b.resolveTypeExpr(file, pkgPath, x.X)
+	case *ast.IndexExpr: // generic instantiation T[P]
+		return b.resolveTypeExpr(file, pkgPath, x.X)
+	case *ast.IndexListExpr:
+		return b.resolveTypeExpr(file, pkgPath, x.X)
+	case *ast.Ident:
+		if _, ok := b.types[pkgPath][x.Name]; ok {
+			return &typeRef{pkg: pkgPath, name: x.Name}
+		}
+		return nil // predeclared or undeclared
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if path, ok := file.Imports[id.Name]; ok {
+			return &typeRef{pkg: path, name: x.Sel.Name}
+		}
+		return nil
+	case *ast.ArrayType:
+		return &typeRef{elem: b.resolveTypeExpr(file, pkgPath, x.Elt)}
+	case *ast.MapType:
+		return &typeRef{elem: b.resolveTypeExpr(file, pkgPath, x.Value)}
+	case *ast.ChanType:
+		return &typeRef{elem: b.resolveTypeExpr(file, pkgPath, x.Value)}
+	case *ast.Ellipsis:
+		return &typeRef{elem: b.resolveTypeExpr(file, pkgPath, x.Elt)}
+	}
+	return nil
+}
+
+// fieldType resolves the declared type of a struct field, following the
+// declaring file's import context.
+func (b *builder) fieldType(tr *typeRef, name string) *typeRef {
+	if !tr.named() {
+		return nil
+	}
+	td := b.types[tr.pkg][tr.name]
+	if td == nil {
+		return nil
+	}
+	st, ok := td.spec.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return b.resolveTypeExpr(td.file, tr.pkg, f.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// methodOn returns the concrete method declared on the named type.
+func (b *builder) methodOn(tr *typeRef, name string) *Node {
+	if !tr.named() {
+		return nil
+	}
+	return b.methods[tr.pkg][tr.name][name]
+}
+
+// resultTypes resolves a declared function's result types.
+func (b *builder) resultTypes(n *Node) []*typeRef {
+	ft := n.Type()
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	var out []*typeRef
+	for _, f := range ft.Results.List {
+		tr := b.resolveTypeExpr(n.File, n.Pkg.Path, f.Type)
+		k := len(f.Names)
+		if k == 0 {
+			k = 1
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// env is one function's local name environment: declared names (so
+// locals shadow imports and package functions) and their types where
+// the single syntactic pass can infer them. Function literals chain to
+// the enclosing function's env for captured variables.
+type env struct {
+	b      *builder
+	node   *Node
+	parent *env
+	vars   map[string]*typeRef
+	known  map[string]bool
+}
+
+func newEnv(b *builder, n *Node) *env {
+	e := &env{b: b, node: n, vars: map[string]*typeRef{}, known: map[string]bool{}}
+	if fd, ok := n.Decl.(*ast.FuncDecl); ok && fd.Recv != nil && len(fd.Recv.List) > 0 {
+		r := fd.Recv.List[0]
+		tr := b.resolveTypeExpr(n.File, n.Pkg.Path, r.Type)
+		for _, name := range r.Names {
+			e.declare(name.Name, tr)
+		}
+	}
+	e.seedSignature(n.Type())
+	return e
+}
+
+func (e *env) seedSignature(ft *ast.FuncType) {
+	if ft == nil {
+		return
+	}
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tr := e.b.resolveTypeExpr(e.node.File, e.node.Pkg.Path, f.Type)
+			for _, name := range f.Names {
+				e.declare(name.Name, tr)
+			}
+		}
+	}
+	seed(ft.Params)
+	seed(ft.Results)
+}
+
+func (e *env) declare(name string, tr *typeRef) {
+	if name == "" || name == "_" {
+		return
+	}
+	e.known[name] = true
+	if tr != nil {
+		e.vars[name] = tr
+	}
+}
+
+// lookup walks the env chain; declared reports whether the name is a
+// local (even with unknown type).
+func (e *env) lookup(name string) (tr *typeRef, declared bool) {
+	for s := e; s != nil; s = s.parent {
+		if s.known[name] {
+			return s.vars[name], true
+		}
+	}
+	return nil, false
+}
+
+// scan populates the env from the body's declarations and definitions
+// in source order (a single flow-insensitive pass; shadowing inside
+// nested blocks is approximated by last-writer-wins).
+func (e *env) scan(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // literals get their own env
+		case *ast.AssignStmt:
+			e.scanAssign(x)
+		case *ast.GenDecl:
+			if x.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range x.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var tr *typeRef
+				if vs.Type != nil {
+					tr = e.b.resolveTypeExpr(e.node.File, e.node.Pkg.Path, vs.Type)
+				}
+				for i, name := range vs.Names {
+					t := tr
+					if t == nil && i < len(vs.Values) {
+						t = e.inferExpr(vs.Values[i])
+					}
+					e.declare(name.Name, t)
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			tr := e.inferExpr(x.X)
+			if id, ok := x.Key.(*ast.Ident); ok {
+				e.declare(id.Name, nil)
+			}
+			if id, ok := x.Value.(*ast.Ident); ok {
+				var elem *typeRef
+				if tr != nil {
+					elem = tr.elem
+				}
+				e.declare(id.Name, elem)
+			}
+		}
+		return true
+	})
+}
+
+func (e *env) scanAssign(a *ast.AssignStmt) {
+	if a.Tok != token.DEFINE {
+		return
+	}
+	var types []*typeRef
+	switch {
+	case len(a.Rhs) == len(a.Lhs):
+		for _, r := range a.Rhs {
+			types = append(types, e.inferExpr(r))
+		}
+	case len(a.Rhs) == 1:
+		switch r := a.Rhs[0].(type) {
+		case *ast.CallExpr:
+			if edges := e.b.resolveCallee(e, r); len(edges) == 1 && edges[0].Callee != nil {
+				types = e.b.resultTypes(edges[0].Callee)
+			}
+			if tr := e.conversionType(r); tr != nil {
+				types = []*typeRef{tr}
+			}
+		case *ast.TypeAssertExpr:
+			if r.Type != nil {
+				types = []*typeRef{e.b.resolveTypeExpr(e.node.File, e.node.Pkg.Path, r.Type)}
+			}
+		case *ast.IndexExpr:
+			if tr := e.inferExpr(r.X); tr != nil {
+				types = []*typeRef{tr.elem}
+			}
+		}
+	}
+	for i, l := range a.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var tr *typeRef
+		if i < len(types) {
+			tr = types[i]
+		}
+		e.declare(id.Name, tr)
+	}
+}
+
+// conversionType recognizes `T(x)` / `pkg.T(x)` conversions to a known
+// named type.
+func (e *env) conversionType(call *ast.CallExpr) *typeRef {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, declared := e.lookup(fun.Name); declared {
+			return nil
+		}
+		if _, ok := e.b.types[e.node.Pkg.Path][fun.Name]; ok {
+			return &typeRef{pkg: e.node.Pkg.Path, name: fun.Name}
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if _, declared := e.lookup(id.Name); declared {
+			return nil
+		}
+		path, ok := e.node.File.Imports[id.Name]
+		if !ok {
+			return nil
+		}
+		if _, ok := e.b.types[path][fun.Sel.Name]; ok {
+			return &typeRef{pkg: path, name: fun.Sel.Name}
+		}
+	}
+	return nil
+}
+
+// inferExpr computes an expression's typeRef where syntax allows.
+func (e *env) inferExpr(x ast.Expr) *typeRef {
+	switch v := x.(type) {
+	case *ast.Ident:
+		tr, declared := e.lookup(v.Name)
+		if !declared {
+			return e.b.pkgvars[e.node.Pkg.Path][v.Name]
+		}
+		return tr
+	case *ast.ParenExpr:
+		return e.inferExpr(v.X)
+	case *ast.StarExpr:
+		return e.inferExpr(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return e.inferExpr(v.X)
+		}
+	case *ast.SelectorExpr:
+		if tr := e.inferExpr(v.X); tr != nil {
+			return e.b.fieldType(tr, v.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if tr := e.inferExpr(v.X); tr != nil {
+			return tr.elem
+		}
+	case *ast.CompositeLit:
+		if v.Type != nil {
+			return e.b.resolveTypeExpr(e.node.File, e.node.Pkg.Path, v.Type)
+		}
+	case *ast.TypeAssertExpr:
+		if v.Type != nil {
+			return e.b.resolveTypeExpr(e.node.File, e.node.Pkg.Path, v.Type)
+		}
+	case *ast.CallExpr:
+		if tr := e.conversionType(v); tr != nil {
+			return tr
+		}
+		if edges := e.b.resolveCallee(e, v); len(edges) == 1 && edges[0].Callee != nil {
+			if rts := e.b.resultTypes(edges[0].Callee); len(rts) > 0 {
+				return rts[0]
+			}
+		}
+	}
+	return nil
+}
+
+// resolveCallee resolves a call expression to its candidate edges
+// without emitting them (pure; shared by the walker and the inferrer).
+func (b *builder) resolveCallee(e *env, call *ast.CallExpr) []Edge {
+	fun := unparen(call.Fun)
+	pos := fun.Pos()
+	one := func(ed Edge) []Edge {
+		ed.Call = call
+		ed.Pos = pos
+		return []Edge{ed}
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if _, declared := e.lookup(f.Name); declared {
+			return one(Edge{Kind: Dynamic, Target: f.Name})
+		}
+		if builtinFuncs[f.Name] {
+			return one(Edge{Kind: External, Target: "builtin." + f.Name})
+		}
+		if n := b.funcs[e.node.Pkg.Path][f.Name]; n != nil {
+			return one(Edge{Kind: Static, Callee: n})
+		}
+		if _, ok := b.types[e.node.Pkg.Path][f.Name]; ok {
+			return one(Edge{Kind: External, Target: "conv." + f.Name})
+		}
+		if builtinTypes[f.Name] {
+			return one(Edge{Kind: External, Target: "conv." + f.Name})
+		}
+		return one(Edge{Kind: Dynamic, Target: f.Name})
+	case *ast.SelectorExpr:
+		sel := f.Sel.Name
+		if id, ok := f.X.(*ast.Ident); ok {
+			if _, declared := e.lookup(id.Name); !declared {
+				if path, ok := e.node.File.Imports[id.Name]; ok {
+					if b.loaded(path) {
+						if n := b.funcs[path][sel]; n != nil {
+							return one(Edge{Kind: Static, Callee: n})
+						}
+						if _, ok := b.types[path][sel]; ok {
+							return one(Edge{Kind: External, Target: "conv." + sel})
+						}
+					}
+					return one(Edge{Kind: External, Target: path + "." + sel})
+				}
+			}
+		}
+		// Method call: resolve the receiver's static type if possible.
+		if tr := e.inferExpr(f.X); tr.named() {
+			if b.loaded(tr.pkg) {
+				if m := b.methodOn(tr, sel); m != nil {
+					return one(Edge{Kind: Method, Callee: m})
+				}
+				// Interface dispatch, promotion through embedding, or a
+				// method the set does not declare: fan out by name.
+			} else {
+				return one(Edge{Kind: External, Target: tr.pkg + ".(" + tr.name + ")." + sel})
+			}
+		}
+		if cands := b.byName[sel]; len(cands) > 0 {
+			out := make([]Edge, 0, len(cands))
+			for _, c := range cands {
+				out = append(out, Edge{Kind: Iface, Callee: c, Call: call, Pos: pos})
+			}
+			return out
+		}
+		return one(Edge{Kind: External, Target: "(?)." + sel})
+	case *ast.FuncLit:
+		// Resolved by the walker (the literal's node is created there);
+		// the pure path reports it dynamically.
+		return one(Edge{Kind: Dynamic, Target: "funclit"})
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StarExpr,
+		*ast.InterfaceType, *ast.FuncType:
+		return one(Edge{Kind: External, Target: "conv." + exprString(fun)})
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](…) or call through an indexed
+		// function value.
+		inner := &ast.CallExpr{Fun: f.X, Args: call.Args}
+		edges := b.resolveCallee(e, inner)
+		for i := range edges {
+			edges[i].Call = call
+		}
+		return edges
+	}
+	return one(Edge{Kind: Dynamic, Target: exprString(fun)})
+}
+
+// walker records one function's outgoing edges.
+type walker struct {
+	b      *builder
+	node   *Node
+	env    *env
+	litSeq int
+}
+
+func (w *walker) emit(e Edge) { w.node.Out = append(w.node.Out, e) }
+
+// litNode returns (creating on first use) the node for a function
+// literal encountered in this function's body.
+func (w *walker) litNode(lit *ast.FuncLit) *Node {
+	if n := w.b.graph.byDecl[lit]; n != nil {
+		return n
+	}
+	w.litSeq++
+	child := &Node{
+		ID:   w.node.ID + "$" + strconv.Itoa(w.litSeq),
+		Pkg:  w.node.Pkg,
+		File: w.node.File,
+		Decl: lit,
+		Name: w.node.Name + "$" + strconv.Itoa(w.litSeq),
+		Recv: w.node.Recv,
+	}
+	w.b.addNode(child)
+	ce := &env{b: w.b, node: child, parent: w.env, vars: map[string]*typeRef{}, known: map[string]bool{}}
+	ce.seedSignature(lit.Type)
+	w.b.envs[child] = ce
+	return child
+}
+
+// block walks the body, emitting call, closure, and ref edges.
+func (w *walker) block(body *ast.BlockStmt) {
+	consumed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			child := w.litNode(x)
+			if !consumed[x] {
+				w.emit(Edge{Kind: Closure, Callee: child, Pos: x.Pos()})
+			}
+			return false
+		case *ast.CallExpr:
+			fun := unparen(x.Fun)
+			consumed[fun] = true
+			var edges []Edge
+			if lit, ok := fun.(*ast.FuncLit); ok {
+				edges = []Edge{{Kind: Static, Callee: w.litNode(lit), Call: x, Pos: fun.Pos()}}
+			} else {
+				edges = w.b.resolveCallee(w.env, x)
+			}
+			w.b.graph.byCall[x] = edges
+			for _, e := range edges {
+				w.emit(e)
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				consumed[id] = true
+			}
+		case *ast.SelectorExpr:
+			consumed[x.Sel] = true
+			if consumed[x] {
+				return true
+			}
+			// Method value or package-function reference.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, declared := w.env.lookup(id.Name); !declared {
+					if path, ok := w.node.File.Imports[id.Name]; ok {
+						if w.b.loaded(path) {
+							if n := w.b.funcs[path][x.Sel.Name]; n != nil {
+								w.emit(Edge{Kind: Ref, Callee: n, Pos: x.Pos()})
+							}
+						}
+						return true
+					}
+				}
+			}
+			if tr := w.env.inferExpr(x.X); tr.named() && w.b.loaded(tr.pkg) {
+				if m := w.b.methodOn(tr, x.Sel.Name); m != nil {
+					w.emit(Edge{Kind: Ref, Callee: m, Pos: x.Pos()})
+				}
+			}
+		case *ast.Ident:
+			if consumed[x] || x.Name == "_" {
+				return true
+			}
+			if _, declared := w.env.lookup(x.Name); declared {
+				return true
+			}
+			if n := w.b.funcs[w.node.Pkg.Path][x.Name]; n != nil && n.Decl != w.node.Decl {
+				w.emit(Edge{Kind: Ref, Callee: n, Pos: x.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders a short, stable name for an expression.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ArrayType:
+		return "[]" + exprString(x.Elt)
+	case *ast.MapType:
+		return "map[" + exprString(x.Key) + "]" + exprString(x.Value)
+	case *ast.ChanType:
+		return "chan " + exprString(x.Value)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[…]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.InterfaceType:
+		return "interface{}"
+	case *ast.FuncType:
+		return "func"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "?"
+}

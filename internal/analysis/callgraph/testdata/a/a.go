@@ -1,0 +1,34 @@
+package a
+
+import (
+	"fmt"
+
+	"t/b"
+)
+
+// f calls locally, cross-package, externally, and through function
+// literals — one stored (a closure edge plus a dynamic call through the
+// variable) and one invoked on the spot (a static edge).
+func f() {
+	g()
+	b.Exported()
+	fmt.Println("x")
+	fn := func() { g() }
+	fn()
+	func() { b.Exported() }()
+}
+
+func g() {}
+
+// ping and pong are mutually recursive: one SCC of two members.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+}

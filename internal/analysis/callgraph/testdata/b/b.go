@@ -1,0 +1,26 @@
+package b
+
+// Dispatcher is an interface with exactly one concrete implementation
+// in the package set, so dispatch through it resolves exactly.
+type Dispatcher interface {
+	Dispatch() int
+}
+
+type impl struct{ n int }
+
+// Dispatch implements Dispatcher.
+func (i impl) Dispatch() int { return i.n }
+
+// Run dispatches through the interface type.
+func Run(d Dispatcher) int {
+	return d.Dispatch()
+}
+
+// Exported is called from package a.
+func Exported() {}
+
+// MethodValue returns a method value: a ref edge, since the method may
+// be called through the captured value later.
+func MethodValue(i impl) func() int {
+	return i.Dispatch
+}

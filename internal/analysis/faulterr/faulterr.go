@@ -22,19 +22,27 @@
 //     Reads inside the function's defer statements count — checking in
 //     a deferred closure is a legitimate pattern.
 //
-// The analysis is name-keyed and intraprocedural: a shadowed `err` in a
-// nested scope aliases its outer namesake, which can hide (never
-// invent) a finding. Test files are exempt, matching the suite.
+// The analysis is name-keyed: a shadowed `err` in a nested scope
+// aliases its outer namesake, which can hide (never invent) a finding.
+// Test files are exempt, matching the suite.
+//
+// The monitored set is extended interprocedurally: using the bottom-up
+// summaries in internal/analysis/summary, every function in the
+// package set whose error result may carry a seed call's error
+// (ReturnsSeedErr) is monitored by name too, so wrapping Trigger in a
+// helper and then dropping the helper's error is still a finding.
 package faulterr
 
 import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strings"
 
 	"github.com/horse-faas/horse/internal/analysis/cfg"
 	"github.com/horse-faas/horse/internal/analysis/dataflow"
 	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/summary"
 )
 
 // Name is the analyzer's directive name: //horselint:allow-faulterr.
@@ -73,6 +81,8 @@ func New(prefixes []string, calls ...string) *lint.Analyzer {
 	for _, c := range calls {
 		monitored[c] = true
 	}
+	seeds := append([]string(nil), calls...)
+	sort.Strings(seeds)
 	return &lint.Analyzer{
 		Name: Name,
 		Doc:  "requires the error result of fault-injectable calls (create/destroy/pause/resume/restore/invoke sites) to reach a check or a return on every control-flow path",
@@ -80,17 +90,39 @@ func New(prefixes []string, calls ...string) *lint.Analyzer {
 			if len(prefixes) > 0 && !lint.PathMatches(pass.Pkg.Path, prefixes) {
 				return nil
 			}
+			derived := derivedMonitored(pass.Program, monitored, seeds)
 			for _, f := range pass.Pkg.Files {
 				if f.Test {
 					continue
 				}
 				for _, fn := range cfg.Functions(f.AST) {
-					checkFunc(pass, fn, monitored)
+					checkFunc(pass, fn, monitored, derived)
 				}
 			}
 			return nil
 		},
 	}
+}
+
+// derivedMonitored extends the monitored set with the names of every
+// function in the program whose error result may carry a seed call's
+// error, per the interprocedural summaries. Function literals never
+// contribute (their "$N" names are uncallable).
+func derivedMonitored(prog *lint.Program, monitored map[string]bool, seeds []string) map[string]bool {
+	if prog == nil {
+		return nil
+	}
+	sums := summary.Compute(prog, summary.Config{ErrorSeeds: seeds, AllowAnalyzer: Name})
+	derived := map[string]bool{}
+	for _, n := range sums.Graph.Order {
+		if strings.Contains(n.Name, "$") || monitored[n.Name] {
+			continue
+		}
+		if sums.Facts(n).ReturnsSeedErr {
+			derived[n.Name] = true
+		}
+	}
+	return derived
 }
 
 // def records one tracked, not-yet-read error binding.
@@ -105,6 +137,10 @@ type facts map[string]def
 
 type analysis struct {
 	monitored map[string]bool
+	// derived are summary-derived monitored names: functions whose
+	// error result may carry a seed error. Unlike the base set, these
+	// also match plain identifier calls (same-package helpers).
+	derived map[string]bool
 }
 
 func (a analysis) Entry() facts { return facts{} }
@@ -209,18 +245,25 @@ func (a analysis) monitoredDef(n ast.Node) (name, call string, pos token.Pos) {
 	return "", "", token.NoPos
 }
 
-// monitoredCall returns the monitored method name if e is a direct call
-// to one, else "".
+// monitoredCall returns the monitored call name if e is a direct call
+// to one, else "". Base names match selector calls only; derived names
+// (summary-propagated helpers) match plain identifier calls too.
 func (a analysis) monitoredCall(e ast.Expr) string {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return ""
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !a.monitored[sel.Sel.Name] {
-		return ""
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if a.monitored[fun.Sel.Name] || a.derived[fun.Sel.Name] {
+			return fun.Sel.Name
+		}
+	case *ast.Ident:
+		if a.derived[fun.Name] {
+			return fun.Name
+		}
 	}
-	return sel.Sel.Name
+	return ""
 }
 
 // discarded returns the monitored calls whose error result n throws
@@ -336,9 +379,9 @@ func readNames(n ast.Node) map[string]bool {
 	return reads
 }
 
-func checkFunc(pass *lint.Pass, fn cfg.NamedFunc, monitored map[string]bool) {
+func checkFunc(pass *lint.Pass, fn cfg.NamedFunc, monitored, derived map[string]bool) {
 	g := cfg.Build(fn.Name, fn.Node)
-	a := analysis{monitored: monitored}
+	a := analysis{monitored: monitored, derived: derived}
 	in := dataflow.Forward[facts](g, a)
 
 	// Identifiers read anywhere inside a defer statement (closure

@@ -1,0 +1,66 @@
+// helpers.go exercises the interprocedural extension: a helper whose
+// error result may carry a fault-injectable call's error is promoted
+// into the monitored set, so dropping the helper's error is a finding.
+package trigger
+
+import (
+	"errors"
+	"fmt"
+)
+
+// resumeQuietly wraps the resume error; the summary marks it
+// ReturnsSeedErr and the analyzer monitors it by name.
+func (h *hypervisor) resumeQuietly(sb *sandbox) error {
+	_, err := h.Resume(sb)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	return nil
+}
+
+// restoreAll propagates the first resume error out of a sweep.
+func restoreAll(h *hypervisor, sbs []*sandbox) error {
+	for _, sb := range sbs {
+		if _, err := h.Resume(sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropsHelper discards the promoted helper's error.
+func (h *hypervisor) DropsHelper(sb *sandbox) {
+	h.resumeQuietly(sb) // want `error result of resumeQuietly is discarded`
+}
+
+// ChecksHelper reads it: clean.
+func (h *hypervisor) ChecksHelper(sb *sandbox) {
+	if err := h.resumeQuietly(sb); err != nil {
+		log(err)
+	}
+}
+
+// SweepDrops discards a promoted plain-function helper's error — the
+// identifier-call case a selector-only match would miss.
+func SweepDrops(h *hypervisor, sbs []*sandbox) {
+	restoreAll(h, sbs) // want `error result of restoreAll is discarded`
+}
+
+// SweepChecks returns it to the caller: clean.
+func SweepChecks(h *hypervisor, sbs []*sandbox) error {
+	return restoreAll(h, sbs)
+}
+
+// parseOnly returns an error with no fault-injectable call inside, so
+// it is never promoted.
+func parseOnly(s string) error {
+	if s == "" {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// DropsBenign drops an unmonitored error: not this analyzer's concern.
+func DropsBenign(s string) {
+	parseOnly(s)
+}

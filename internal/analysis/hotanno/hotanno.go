@@ -1,0 +1,43 @@
+// Package hotanno checks the hygiene of //horselint:hotpath
+// annotations: each directive must sit in the doc comment of exactly
+// one production function declaration. Stray directives (attached to
+// nothing), directives in _test.go files, and duplicates on one
+// function annotate nothing and are reported, so the annotated set the
+// hotpath and allocpin analyzers enforce is exactly the set a reader
+// can grep.
+package hotanno
+
+import (
+	"github.com/horse-faas/horse/internal/analysis/hotpath"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// New returns the hotanno analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "hotanno",
+		Doc: "//horselint:hotpath directives must each annotate exactly one production " +
+			"function declaration: no strays, no test files, no duplicates",
+		Run: run,
+	}
+}
+
+// Default returns the analyzer as wired into cmd/horselint.
+func Default() *lint.Analyzer { return New() }
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, c := range hotpath.Strays(f) {
+			pass.Reportf(c.Pos(), "stray %s directive: it must be part of a function declaration's doc comment", hotpath.Directive)
+		}
+		for _, ann := range hotpath.Annotations(f) {
+			switch {
+			case f.Test:
+				pass.Reportf(ann.Func.Pos(), "%s on %s: hot-path annotations belong in production code, not _test.go files", hotpath.Directive, ann.DisplayName())
+			case ann.Count > 1:
+				pass.Reportf(ann.Func.Pos(), "duplicate %s directives on %s", hotpath.Directive, ann.DisplayName())
+			}
+		}
+	}
+	return nil
+}

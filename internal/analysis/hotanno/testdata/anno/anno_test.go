@@ -1,0 +1,4 @@
+package anno
+
+//horselint:hotpath
+func inTest() int { return 3 } // want `hot-path annotations belong in production code`

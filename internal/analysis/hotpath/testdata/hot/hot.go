@@ -1,0 +1,80 @@
+package hot
+
+import "fmt"
+
+//horselint:hotpath
+func clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+//horselint:hotpath
+func direct() []int {
+	return make([]int, 3) // want `hot-path function direct: make allocates`
+}
+
+// helper allocates but is not annotated itself; the verdict must reach
+// the annotated caller through the summary.
+func helper() string {
+	return fmt.Sprintf("x%d", 1)
+}
+
+//horselint:hotpath
+func transitive() string {
+	return helper() // want `call to hot.helper may allocate`
+}
+
+//horselint:hotpath
+func closures() func() int {
+	x := 0
+	return func() int { return x } // want `function literal allocates a closure`
+}
+
+//horselint:hotpath
+func concat(s string) string {
+	return s + "!" // want `string concatenation allocates`
+}
+
+//horselint:hotpath
+func literals() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//horselint:hotpath
+func grows(xs []int) []int {
+	return append(xs, 1) // want `append may grow its backing array`
+}
+
+// vouched's only allocation sits on a branch the author has vouched
+// cold, so the function reports nothing and stays clean for callers.
+//
+//horselint:hotpath
+func vouched(cold bool) []int {
+	if cold {
+		//horselint:allow-hotpath cold failover branch, never taken per trigger
+		return make([]int, 1)
+	}
+	return nil
+}
+
+//horselint:hotpath
+func callsVouched() {
+	_ = vouched(false)
+}
+
+// sink has an any parameter, so concrete arguments box.
+func sink(v any) {}
+
+//horselint:hotpath
+func boxes(n int) {
+	sink(n) // want `argument is boxed into an interface parameter`
+}
+
+type ring struct{ vals []int }
+
+//horselint:hotpath
+func (r *ring) at(i int) int {
+	return r.vals[i%len(r.vals)]
+}

@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant checker.
@@ -56,8 +57,52 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Program is the whole package set of the run. Interprocedural
+	// analyzers reach through it (and its artifact cache) to see across
+	// package boundaries; intra-procedural analyzers can ignore it.
+	Program *Program
 
 	diags *[]Diagnostic
+}
+
+// Program is one lint run's whole package set plus a memoization cache
+// for derived artifacts (call graph, function summaries) that are
+// expensive to build and shared by several analyzers. Runs are
+// single-goroutine, so the cache needs no locking.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cache map[string]any
+}
+
+// NewProgram wraps a loaded package set for interprocedural analysis.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{Fset: fset, Pkgs: pkgs, cache: make(map[string]any)}
+}
+
+// Cached returns the artifact stored under key, building and storing it
+// on first use.
+func (p *Program) Cached(key string, build func() any) any {
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// Allowed reports whether a reasoned //horselint:allow-<analyzer>
+// directive covers pos anywhere in the program. Interprocedural fact
+// builders use it so a vouched-for site (e.g. a cold branch inside an
+// otherwise hot helper) does not poison every caller's verdict.
+func (p *Program) Allowed(analyzer string, pos token.Position) bool {
+	for _, pkg := range p.Pkgs {
+		if pkg.suppressed(analyzer, pos) {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf records a diagnostic at pos unless a matching
@@ -77,17 +122,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies every analyzer to every package and returns the combined
 // diagnostics sorted by position. Analyzer errors abort the run.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(fset, pkgs, analyzers)
+	return diags, err
+}
+
+// AnalyzerTiming is one analyzer's cumulative wall time across every
+// package of a run. The first analyzer to request a shared artifact
+// (call graph, summaries) pays its build cost, so timings attribute
+// construction to the analyzer that triggered it.
+type AnalyzerTiming struct {
+	Name string
+	Wall time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall-time attribution, in the order
+// the analyzers were given.
+func RunTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	var diags []Diagnostic
+	prog := NewProgram(fset, pkgs)
+	wall := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		for i, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Program: prog, diags: &diags}
+			start := time.Now()
+			err := a.Run(pass)
+			wall[i] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
 	Sort(diags)
-	return diags, nil
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Wall: wall[i]}
+	}
+	return diags, timings, nil
 }
 
 // Sort orders diagnostics by file, line, column, then analyzer name.
@@ -228,6 +298,27 @@ func CheckDirectives(pkgs []*Package, known map[string]bool) []Diagnostic {
 	}
 	Sort(diags)
 	return diags
+}
+
+// CountDirectives tallies the reasoned //horselint:allow-* directives in
+// the package set, keyed by analyzer name. Bare directives are excluded:
+// they suppress nothing and CheckDirectives already rejects them. The
+// driver's allow-count gate compares this tally against a checked-in
+// baseline so suppression debt cannot grow silently.
+func CountDirectives(pkgs []*Package) map[string]int {
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, ds := range f.directives {
+				for _, d := range ds {
+					if d.Reason != "" {
+						counts[d.Analyzer]++
+					}
+				}
+			}
+		}
+	}
+	return counts
 }
 
 // PathMatches reports whether pkgPath equals prefix or lies underneath

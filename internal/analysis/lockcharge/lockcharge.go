@@ -16,6 +16,13 @@
 // function is flagged — which is exactly the latency-skew pattern the
 // invariant exists to catch. Test files are exempt, matching the rest
 // of the suite.
+//
+// The check is interprocedural: while a lock may be held, every call
+// whose callee transitively charges the clock (per the bottom-up
+// summaries in internal/analysis/summary) is reported too, so hiding
+// the Charge inside a helper no longer hides the latency skew. A
+// callee site vouched with //horselint:allow-lockcharge is excluded
+// from its function's summary, keeping the exemption caller-visible.
 package lockcharge
 
 import (
@@ -26,6 +33,7 @@ import (
 	"github.com/horse-faas/horse/internal/analysis/cfg"
 	"github.com/horse-faas/horse/internal/analysis/dataflow"
 	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/summary"
 )
 
 // Name is the analyzer's directive name: //horselint:allow-lockcharge.
@@ -63,12 +71,16 @@ func New(prefixes ...string) *lint.Analyzer {
 			if len(prefixes) > 0 && !lint.PathMatches(pass.Pkg.Path, prefixes) {
 				return nil
 			}
+			var sums *summary.Set
+			if pass.Program != nil {
+				sums = summary.Compute(pass.Program, summary.Config{AllowAnalyzer: Name})
+			}
 			for _, f := range pass.Pkg.Files {
 				if f.Test {
 					continue
 				}
 				for _, fn := range cfg.Functions(f.AST) {
-					checkFunc(pass, fn)
+					checkFunc(pass, fn, sums)
 				}
 			}
 			return nil
@@ -161,7 +173,7 @@ func (a analysis) Transfer(n ast.Node, in held) held {
 	return out
 }
 
-func checkFunc(pass *lint.Pass, fn cfg.NamedFunc) {
+func checkFunc(pass *lint.Pass, fn cfg.NamedFunc, sums *summary.Set) {
 	g := cfg.Build(fn.Name, fn.Node)
 	a := analysis{fset: pass.Fset}
 	in := dataflow.Forward[held](g, a)
@@ -175,6 +187,29 @@ func checkFunc(pass *lint.Pass, fn cfg.NamedFunc) {
 		if op, pos := blockingOp(n); op != "" {
 			reportHeld(pass, before, pos, op)
 		}
+		if sums == nil {
+			return
+		}
+		// Interprocedural: a callee that transitively charges the
+		// clock is as bad as a direct Charge under the lock.
+		cfg.Inspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && clockCalls[sel.Sel.Name] {
+				return false // direct charge, reported by blockingOp
+			}
+			if charges, callee := sums.CallMayCharge(call); charges {
+				for _, key := range sortedHeld(before) {
+					acq := before[key]
+					pass.Reportf(call.Pos(),
+						"call to %s may charge the virtual clock while lock %s (acquired at line %d) is held; release the mutex before calling into clock-charging code",
+						callee, key, pass.Fset.Position(acq).Line)
+				}
+			}
+			return true
+		})
 	})
 }
 

@@ -1,0 +1,47 @@
+// inter.go exercises the interprocedural half of the analyzer: a
+// charge hidden inside a helper is still a charge under the lock.
+package sim
+
+// chargeStep hides a clock charge one call deep.
+func (h *host) chargeStep(cost int64) {
+	h.clk.Charge("step", cost)
+}
+
+// deepCharge puts the charge two calls down.
+func (h *host) deepCharge(cost int64) {
+	h.chargeStep(cost)
+}
+
+// quiet has no charge anywhere below it.
+func (h *host) quiet(cost int64) int64 {
+	return cost * 2
+}
+
+// HelperUnderLock calls a charging helper with the mutex held.
+func (h *host) HelperUnderLock(cost int64) {
+	h.mu.Lock()
+	h.chargeStep(cost) // want `call to sim\.\(host\)\.chargeStep may charge the virtual clock while lock h\.mu .* is held`
+	h.mu.Unlock()
+}
+
+// DeepUnderLock is two hops from the charge: still flagged.
+func (h *host) DeepUnderLock(cost int64) {
+	h.mu.Lock()
+	h.deepCharge(cost) // want `call to sim\.\(host\)\.deepCharge may charge the virtual clock while lock h\.mu .* is held`
+	h.mu.Unlock()
+}
+
+// HelperAfterRelease is the clean ordering.
+func (h *host) HelperAfterRelease(cost int64) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.chargeStep(cost)
+}
+
+// QuietUnderLock calls a summary-clean helper under the lock: fine.
+func (h *host) QuietUnderLock(cost int64) int64 {
+	h.mu.Lock()
+	v := h.quiet(cost)
+	h.mu.Unlock()
+	return v
+}

@@ -1,0 +1,272 @@
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/horse-faas/horse/internal/analysis/callgraph"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// Lock and clock call names, matching the lockcharge analyzer's
+// repo-local vocabulary.
+var (
+	lockNames  = map[string]bool{"Lock": true, "RLock": true}
+	clockNames = map[string]bool{"Charge": true, "Advance": true}
+)
+
+// cleanExternals lists external call targets known not to allocate.
+// Everything external and not listed is conservatively assumed to
+// allocate. Targets use the callgraph's textual form; entries ending in
+// "." are prefixes.
+var cleanExternals = []string{
+	"sync/atomic.",
+	"sync.(Mutex).Lock",
+	"sync.(Mutex).Unlock",
+	"sync.(Mutex).TryLock",
+	"sync.(RWMutex).Lock",
+	"sync.(RWMutex).Unlock",
+	"sync.(RWMutex).RLock",
+	"sync.(RWMutex).RUnlock",
+	"sync.(RWMutex).TryLock",
+	"sync.(WaitGroup).Add",
+	"sync.(WaitGroup).Done",
+	"sync.(WaitGroup).Wait",
+	"math.",
+	"errors.Is",
+	"errors.As",
+	"sort.Search",
+	"sort.SearchInts",
+	"strings.Compare",
+	"strings.HasPrefix",
+	"strings.HasSuffix",
+	"strings.IndexByte",
+	"strings.Contains",
+	"bytes.Equal",
+}
+
+// externalClean reports whether an external target is known not to
+// allocate.
+func externalClean(target string) bool {
+	for _, c := range cleanExternals {
+		if strings.HasSuffix(c, ".") {
+			if strings.HasPrefix(target, c) {
+				return true
+			}
+		} else if target == c {
+			return true
+		}
+	}
+	return false
+}
+
+// direct computes the syntactic (pre-fixpoint) facts of one function.
+type direct struct {
+	prog  *lint.Program
+	cfg   Config
+	seeds map[string]bool
+}
+
+// allowed reports whether an allow directive covers pos.
+func (d *direct) allowed(pos token.Pos) bool {
+	if d.cfg.AllowAnalyzer == "" {
+		return false
+	}
+	return d.prog.Allowed(d.cfg.AllowAnalyzer, d.prog.Fset.Position(pos))
+}
+
+func (d *direct) compute(n *callgraph.Node) *Facts {
+	f := &Facts{hasErrorResult: hasErrorResult(n.Type())}
+	body := n.Body()
+	if body == nil {
+		return f
+	}
+
+	add := func(pos token.Pos, format string, args ...any) {
+		if d.allowed(pos) {
+			return
+		}
+		f.Allocs = append(f.Allocs, Site{Pos: pos, What: fmt.Sprintf(format, args...)})
+	}
+
+	// Walk the body shallowly: nested function literals are their own
+	// graph nodes and their facts flow back through closure edges.
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			add(v.Pos(), "go statement allocates a goroutine")
+		case *ast.CallExpr:
+			d.call(n, f, v, add)
+		case *ast.CompositeLit:
+			switch t := v.Type.(type) {
+			case *ast.ArrayType:
+				if t.Len == nil {
+					add(v.Pos(), "slice literal allocates")
+				}
+			case *ast.MapType:
+				add(v.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := v.X.(*ast.CompositeLit); ok {
+					add(v.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && (isStringLit(v.X) || isStringLit(v.Y)) {
+				add(v.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Rhs) == 1 && isStringLit(v.Rhs[0]) {
+				add(v.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+
+	// Edge-level facts: external calls, closures, method values, lock
+	// and clock names, seed calls.
+	for _, e := range n.Out {
+		switch e.Kind {
+		case callgraph.External:
+			switch {
+			case strings.HasPrefix(e.Target, "builtin."), strings.HasPrefix(e.Target, "conv."):
+				// The construct walk above owns the allocating builtins
+				// and conversions.
+			case externalClean(e.Target):
+			default:
+				add(e.Pos, "call to %s (outside the package set) is assumed to allocate", e.Target)
+			}
+		case callgraph.Dynamic:
+			add(e.Pos, "dynamic call through %q cannot be resolved; assumed to allocate", e.Target)
+		case callgraph.Closure:
+			add(e.Pos, "function literal allocates a closure")
+		case callgraph.Ref:
+			if e.Callee != nil && e.Callee.Recv != "" {
+				add(e.Pos, "method value %s allocates a closure", e.Callee.ID)
+			}
+		}
+	}
+
+	f.Allocates = len(f.Allocs) > 0
+	if f.Allocates {
+		f.AllocWhy = f.Allocs[0].What
+	}
+	return f
+}
+
+// call handles one call expression's name-based facts: lock and clock
+// selectors, seed calls, and interface boxing of arguments into any /
+// interface{} parameters of resolved callees.
+func (d *direct) call(n *callgraph.Node, f *Facts, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if lockNames[name] && len(call.Args) == 0 {
+			f.AcquiresLock = true
+		}
+		if clockNames[name] {
+			f.ChargesClock = true
+			if f.ClockWhy == "" {
+				f.ClockWhy = name + " call"
+			}
+		}
+	}
+	if d.seeds[name] {
+		f.directSeed = true
+	}
+
+	switch name {
+	case "make":
+		add(call.Pos(), "make allocates; hot paths must reuse preallocated state")
+	case "new":
+		add(call.Pos(), "new allocates")
+	case "append":
+		add(call.Pos(), "append may grow its backing array")
+	case "panic":
+		add(call.Pos(), "panic allocates and boxes its argument")
+	case "string":
+		if _, ok := call.Fun.(*ast.Ident); ok {
+			add(call.Pos(), "conversion to string allocates")
+		}
+	}
+	if at, ok := call.Fun.(*ast.ArrayType); ok {
+		add(call.Pos(), "conversion to %s allocates", typeText(at))
+	}
+
+	// Interface boxing: arguments flowing into any/interface{} params of
+	// a uniquely resolved callee in the set.
+	if len(call.Args) == 0 {
+		return
+	}
+	edges := d.edgesAt(call)
+	if len(edges) != 1 || edges[0].Callee == nil {
+		return
+	}
+	ft := edges[0].Callee.Type()
+	if ft == nil || ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, p := range ft.Params.List {
+		k := len(p.Names)
+		if k == 0 {
+			k = 1
+		}
+		if isAnyType(p.Type) && idx < len(call.Args) {
+			add(call.Args[idx].Pos(), "argument is boxed into an interface parameter of %s", edges[0].Callee.ID)
+			return
+		}
+		idx += k
+	}
+}
+
+func (d *direct) edgesAt(call *ast.CallExpr) []callgraph.Edge {
+	return callgraph.Of(d.prog).EdgesAt(call)
+}
+
+// isAnyType recognizes any, interface{}, and ...any parameter types.
+func isAnyType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "any"
+	case *ast.InterfaceType:
+		return t.Methods == nil || len(t.Methods.List) == 0
+	case *ast.Ellipsis:
+		return isAnyType(t.Elt)
+	}
+	return false
+}
+
+func isStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// hasErrorResult reports whether the signature's last result is error.
+func hasErrorResult(ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// typeText renders a short name for a conversion target.
+func typeText(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.ArrayType:
+		return "[]" + typeText(t.Elt)
+	case *ast.Ident:
+		return t.Name
+	}
+	return "T"
+}

@@ -1,0 +1,19 @@
+package s
+
+type hv struct{}
+
+// BeginPause is the seed call in the tests' configuration.
+func (hv) BeginPause() error { return nil }
+
+var h hv
+
+// propagates returns the seed's error directly.
+func propagates() error { return h.BeginPause() }
+
+// wraps returns it one call deeper.
+func wraps() error { return propagates() }
+
+// swallows has no error result, so it cannot propagate.
+func swallows() {
+	_ = propagates()
+}

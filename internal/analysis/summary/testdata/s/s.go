@@ -1,0 +1,75 @@
+package s
+
+import "sync"
+
+var mu sync.Mutex
+
+type clock struct{}
+
+// Charge mimics the simulated clock's charge method.
+func (clock) Charge(n int) {}
+
+var cl clock
+
+// leafAlloc allocates directly.
+func leafAlloc() []int {
+	return make([]int, 4)
+}
+
+// viaCall allocates only through its callee.
+func viaCall() []int {
+	return leafAlloc()
+}
+
+// clean is allocation-free.
+func clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// locker acquires a mutex but does not allocate.
+func locker() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// charger charges the clock directly; viaCharger only transitively.
+func charger() { cl.Charge(1) }
+
+func viaCharger() { charger() }
+
+// allowedAlloc's only allocation carries an allow directive: the author
+// vouches the branch is cold, so the fact must not leak to callers.
+func allowedAlloc(cold bool) []int {
+	if cold {
+		//horselint:allow-hotpath defensive cold branch, exercised by tests only
+		return append([]int(nil), 1)
+	}
+	return nil
+}
+
+// callsAllowed stays clean because the callee's site is allowed.
+func callsAllowed() {
+	_ = allowedAlloc(false)
+}
+
+// recA and recB allocate mutually recursively: the SCC fixpoint must
+// mark both.
+func recA(n int) []int {
+	if n > 0 {
+		return recB(n - 1)
+	}
+	return nil
+}
+
+func recB(n int) []int {
+	return append(recA(n), n)
+}
+
+// closureMaker escapes a literal.
+func closureMaker() func() int {
+	x := 1
+	return func() int { return x }
+}

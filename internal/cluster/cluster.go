@@ -494,8 +494,16 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 		tc = c.rec.Start(c.seq, name, mode.String(), arrival, c.sloBudgets[name])
 		c.seq++
 	}
-	excluded := make(map[int]bool)
+	// excluded is allocated lazily on the first failover: the common
+	// trigger serves on the first pick and never needs the map.
+	var excluded map[int]bool
 	failovers := 0
+	exclude := func(idx int) {
+		if excluded == nil {
+			excluded = make(map[int]bool, len(c.nodes))
+		}
+		excluded[idx] = true
+	}
 	var lastErr error
 	for {
 		n, err := c.router.Pick(c, name, entry.ull, excluded, arrival)
@@ -517,7 +525,7 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 			}
 			c.countFailover(ReasonNodeFailed)
 			tc.Reroute(arrival, n.id, ReasonNodeFailed)
-			excluded[n.index] = true
+			exclude(n.index)
 			failovers++
 			continue
 		}
@@ -529,7 +537,7 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 			}
 			c.countFailover(ReasonNodeDraining)
 			tc.Reroute(arrival, n.id, ReasonNodeDraining)
-			excluded[n.index] = true
+			exclude(n.index)
 			failovers++
 			continue
 		}
@@ -563,7 +571,7 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 			c.countFailover(ReasonTriggerFailed)
 			tc.CollapseFailed(mark, arrival, consumed, n.id, mode.String(), ReasonTriggerFailed)
 			tc.Reroute(local.Now(), n.id, ReasonTriggerFailed)
-			excluded[n.index] = true
+			exclude(n.index)
 			failovers++
 			lastErr = terr
 			continue

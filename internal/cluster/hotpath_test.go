@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Allocation sinks keep the pinned calls from being optimized away.
+var (
+	sinkBool bool
+	sinkHash uint64
+	sinkDur  simtime.Duration
+)
+
+// hotpathCluster builds the 8-node routing topology (2 uLL-reserved
+// nodes) without deployments: routing decisions only read node state.
+func hotpathCluster(t *testing.T, policy string) *Cluster {
+	t.Helper()
+	specs := make([]NodeSpec, 8)
+	for i := range specs {
+		if i < 2 {
+			specs[i].ULLSlots = 2
+		}
+	}
+	c, err := New(Options{Specs: specs, Policy: policy, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Allocation pins for every //horselint:hotpath function in this
+// package: the routing decision every trigger pays — policy pick, ring
+// hash, lag reads — must be allocation-free, matching the hotpath
+// analyzer's static verdict.
+func TestHotPathAllocFree(t *testing.T) {
+	c := hotpathCluster(t, PolicyULLAffinity)
+	a, ok := c.router.policy.(*ullAffinity)
+	if !ok {
+		t.Fatalf("router policy is %T, want *ullAffinity", c.router.policy)
+	}
+	now := c.clock.Now()
+	node := c.nodes[0]
+	rr := &roundRobin{}
+	ll := leastLoaded{}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.router.Pick(c, "scan", true, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Router.Pick allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkBool = eligible(node, nil)
+	}); n != 0 {
+		t.Errorf("eligible allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := rr.pick(c, "scan", false, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("roundRobin.pick allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := ll.pick(c, "scan", false, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("leastLoaded.pick allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := minLag(c.nodes, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("minLag allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := a.pick(c, "scan", true, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ullAffinity.pick allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkDur = a.allowedLag(c, nil, now)
+	}); n != 0 {
+		t.Errorf("ullAffinity.allowedLag allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkHash = hash64("scan")
+	}); n != 0 {
+		t.Errorf("hash64 allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkDur = node.Lag(now)
+	}); n != 0 {
+		t.Errorf("Node.Lag allocates %v per run, want 0", n)
+	}
+}

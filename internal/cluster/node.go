@@ -130,6 +130,8 @@ func (n *Node) Served() uint64 { return n.served }
 // the cluster instant now — the virtual-time backlog a new trigger
 // would wait behind. A node that has never served is at the epoch and
 // reports zero.
+//
+//horselint:hotpath
 func (n *Node) Lag(now simtime.Time) simtime.Duration {
 	local := n.platform.Clock().Now()
 	if local.After(now) {

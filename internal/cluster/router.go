@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"github.com/horse-faas/horse/internal/simtime"
@@ -73,6 +72,8 @@ func (r *Router) Policy() string { return r.policy.name() }
 
 // Pick runs one routing decision and charges the placement to the
 // chosen node.
+//
+//horselint:hotpath
 func (r *Router) Pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	n, err := r.policy.pick(c, fn, ull, excluded, now)
 	if err != nil {
@@ -84,6 +85,8 @@ func (r *Router) Pick(c *Cluster, fn string, ull bool, excluded map[int]bool, no
 
 // eligible reports whether the node can take a new trigger in this
 // routing decision.
+//
+//horselint:hotpath
 func eligible(n *Node, excluded map[int]bool) bool {
 	return n.health == Up && !excluded[n.index]
 }
@@ -97,6 +100,7 @@ type roundRobin struct {
 
 func (*roundRobin) name() string { return PolicyRoundRobin }
 
+//horselint:hotpath
 func (rr *roundRobin) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	total := len(c.nodes)
 	for i := 0; i < total; i++ {
@@ -118,12 +122,15 @@ type leastLoaded struct{}
 
 func (leastLoaded) name() string { return PolicyLeastLoaded }
 
+//horselint:hotpath
 func (leastLoaded) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	return minLag(c.nodes, excluded, now)
 }
 
 // minLag returns the eligible node with the smallest lag (ties to the
 // lowest index), or ErrNoNodes.
+//
+//horselint:hotpath
 func minLag(nodes []*Node, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	var best *Node
 	var bestLag simtime.Duration
@@ -171,9 +178,17 @@ type ringPoint struct {
 // unreserved node is healthy.
 type ullAffinity struct {
 	ring        []ringPoint
-	reserved    []int // node indexes with ULLSlots > 0, ascending
+	reserved    []int   // node indexes with ULLSlots > 0, ascending
+	unres       []*Node // nodes without uLL reservations, index order
 	boundFactor float64
 	minHeadroom simtime.Duration
+
+	// visited is per-pick scratch for the ring walk: visited[i] ==
+	// visitGen marks node i as seen this pick. The node set is fixed at
+	// construction and a cluster is driven from one goroutine, so the
+	// scratch keeps the route path allocation-free.
+	visited  []uint32
+	visitGen uint32
 }
 
 func newULLAffinity(c *Cluster, vnodes int, boundFactor float64, minHeadroom simtime.Duration) *ullAffinity {
@@ -186,9 +201,14 @@ func newULLAffinity(c *Cluster, vnodes int, boundFactor float64, minHeadroom sim
 	if minHeadroom <= 0 {
 		minHeadroom = DefaultMinHeadroom
 	}
-	a := &ullAffinity{boundFactor: boundFactor, minHeadroom: minHeadroom}
+	a := &ullAffinity{
+		boundFactor: boundFactor,
+		minHeadroom: minHeadroom,
+		visited:     make([]uint32, len(c.nodes)),
+	}
 	for _, n := range c.nodes {
 		if !n.ULLReserved() {
+			a.unres = append(a.unres, n)
 			continue
 		}
 		a.reserved = append(a.reserved, n.index)
@@ -210,11 +230,12 @@ func newULLAffinity(c *Cluster, vnodes int, boundFactor float64, minHeadroom sim
 
 func (*ullAffinity) name() string { return PolicyULLAffinity }
 
+//horselint:hotpath
 func (a *ullAffinity) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	if !ull {
 		// Steer background traffic off the reserved nodes while any
 		// unreserved node can take it.
-		if n, err := minLag(a.unreserved(c), excluded, now); err == nil {
+		if n, err := minLag(a.unres, excluded, now); err == nil {
 			return n, nil
 		}
 		return minLag(c.nodes, excluded, now)
@@ -224,19 +245,39 @@ func (a *ullAffinity) pick(c *Cluster, fn string, ull bool, excluded map[int]boo
 		return minLag(c.nodes, excluded, now)
 	}
 	allowed := a.allowedLag(c, excluded, now)
-	start := sort.Search(len(a.ring), func(i int) bool {
-		return a.ring[i].hash >= hash64(fn)
-	}) % len(a.ring)
+	// Binary search for the first ring point at or after the function's
+	// hash (an open-coded sort.Search: the closure it takes would
+	// allocate on every pick).
+	target := hash64(fn)
+	lo, hi := 0, len(a.ring)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.ring[mid].hash < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo % len(a.ring)
 	// Walk the ring once, visiting each distinct node in ring order.
-	visited := make(map[int]bool, len(a.reserved))
+	// Scratch generation bump; on wraparound, clear and restart at 1.
+	a.visitGen++
+	if a.visitGen == 0 {
+		for i := range a.visited {
+			a.visited[i] = 0
+		}
+		a.visitGen = 1
+	}
+	seen := 0
 	var fallback *Node
 	var fallbackLag simtime.Duration
-	for i := 0; i < len(a.ring) && len(visited) < len(a.reserved); i++ {
+	for i := 0; i < len(a.ring) && seen < len(a.reserved); i++ {
 		pt := a.ring[(start+i)%len(a.ring)]
-		if visited[pt.index] {
+		if a.visited[pt.index] == a.visitGen {
 			continue
 		}
-		visited[pt.index] = true
+		a.visited[pt.index] = a.visitGen
+		seen++
 		n := c.nodes[pt.index]
 		if !eligible(n, excluded) {
 			continue
@@ -262,6 +303,8 @@ func (a *ullAffinity) pick(c *Cluster, fn string, ull bool, excluded map[int]boo
 
 // allowedLag computes the bounded-load threshold: boundFactor × the mean
 // backlog across eligible reserved nodes, floored at minHeadroom.
+//
+//horselint:hotpath
 func (a *ullAffinity) allowedLag(c *Cluster, excluded map[int]bool, now simtime.Time) simtime.Duration {
 	var sum simtime.Duration
 	count := 0
@@ -283,22 +326,22 @@ func (a *ullAffinity) allowedLag(c *Cluster, excluded map[int]bool, now simtime.
 	return bound
 }
 
-// unreserved returns the cluster's nodes without uLL reservations, in
-// index order.
-func (a *ullAffinity) unreserved(c *Cluster) []*Node {
-	out := make([]*Node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if !n.ULLReserved() {
-			out = append(out, n)
-		}
-	}
-	return out
-}
+// FNV-1a constants (hash/fnv's, open-coded: the stdlib hash object and
+// the []byte conversion it needs both allocate on every pick).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
 
-// hash64 is the ring hash (FNV-1a, matching the seed-mixing hash used
-// by faultinject and loadgen).
+// hash64 is the ring hash (FNV-1a, bit-identical to hash/fnv New64a
+// and to the seed-mixing hash used by faultinject and loadgen).
+//
+//horselint:hotpath
 func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }

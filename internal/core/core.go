@@ -26,6 +26,7 @@ import (
 	"github.com/horse-faas/horse/internal/psm"
 	"github.com/horse-faas/horse/internal/runqueue"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/telemetry"
 	"github.com/horse-faas/horse/internal/vmm"
 )
 
@@ -83,13 +84,34 @@ type Engine struct {
 	// it runs off the resume critical path but counts toward the §5.2
 	// CPU overhead.
 	syncWork simtime.Duration
+
+	// Prebound per-trigger instruments (inert nil handles when the
+	// hypervisor has no registry), so the pause/resume paths skip the
+	// registry's name lookup on every operation.
+	prepared     *telemetry.Gauge
+	coalesced    *telemetry.Counter
+	spliceOps    *telemetry.Counter
+	splicedVCPUs *telemetry.Counter
+
+	// statePool is a one-slot free list of pausedState frames: a horse
+	// trigger pauses and resumes once per invocation, so the frame
+	// released by the resume is reused by the next pause.
+	statePool *pausedState
+	// spliceScratch is the reusable element snapshot spliceMergeVCPUs
+	// takes before each merge.
+	spliceScratch []*runqueue.Element
 }
 
 // NewEngine returns a HORSE engine over the given hypervisor.
 func NewEngine(h *vmm.Hypervisor) *Engine {
+	m := h.Metrics()
 	return &Engine{
-		h:      h,
-		states: make(map[string]*pausedState),
+		h:            h,
+		states:       make(map[string]*pausedState),
+		prepared:     m.Gauge("horse_prepared_sandboxes"),
+		coalesced:    m.Counter("horse_coalesced_updates_total"),
+		spliceOps:    m.Counter("horse_splice_ops_total"),
+		splicedVCPUs: m.Counter("horse_spliced_vcpus_total"),
 	}
 }
 
@@ -138,7 +160,13 @@ func (e *Engine) pauseULL(sb *vmm.Sandbox, policy Policy) (vmm.PauseReport, erro
 	}
 	costs := e.h.Costs()
 	q := e.h.LeastAssignedULLQueue()
-	st := &pausedState{policy: policy, queue: q}
+	st := e.statePool
+	if st == nil {
+		st = &pausedState{}
+	} else {
+		e.statePool = nil
+	}
+	*st = pausedState{policy: policy, queue: q}
 
 	if policy == Coal || policy == Horse {
 		// Validate the coalescing parameters before touching the queues
@@ -173,9 +201,7 @@ func (e *Engine) pauseULL(sb *vmm.Sandbox, policy Policy) (vmm.PauseReport, erro
 	}
 
 	e.states[sb.ID()] = st
-	if m := e.h.Metrics(); m != nil {
-		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
-	}
+	e.prepared.Set(int64(len(e.states)))
 	return ctx.Finish()
 }
 
@@ -227,10 +253,16 @@ func (e *Engine) Resume(sb *vmm.Sandbox, policy Policy) (vmm.ResumeReport, error
 		return vmm.ResumeReport{}, err
 	}
 	delete(e.states, sb.ID())
-	if m := e.h.Metrics(); m != nil {
-		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
-	}
+	e.prepared.Set(int64(len(e.states)))
+	e.recycle(st)
 	return report, nil
+}
+
+// recycle returns a released pausedState frame to the one-slot pool so
+// the next pause reuses it instead of allocating.
+func (e *Engine) recycle(st *pausedState) {
+	*st = pausedState{}
+	e.statePool = st
 }
 
 // resumeHorse is the full fast path: pre-armed entry, O(1) P²SM splice,
@@ -248,9 +280,7 @@ func (e *Engine) resumeHorse(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport
 	}
 	ctx.Charge(vmm.StepCoalesce, e.h.Costs().CoalescedUpdate)
 	st.queue.Load().PlaceCoalesced(st.coal)
-	if m := e.h.Metrics(); m != nil {
-		m.Counter("horse_coalesced_updates_total").Inc()
-	}
+	e.coalesced.Inc()
 	report, err := ctx.Finish()
 	return report, true, err
 }
@@ -301,9 +331,7 @@ func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 	}
 	ctx.Charge(vmm.StepCoalesce, costs.CoalescedUpdate)
 	st.queue.Load().PlaceCoalesced(st.coal)
-	if m := e.h.Metrics(); m != nil {
-		m.Counter("horse_coalesced_updates_total").Inc()
-	}
+	e.coalesced.Inc()
 	report, err := ctx.Finish()
 	return report, true, err
 }
@@ -311,21 +339,20 @@ func (e *Engine) resumeCoal(sb *vmm.Sandbox, st *pausedState) (vmm.ResumeReport,
 // spliceMergeVCPUs performs the P²SM merge of merge_vcpus into the
 // sandbox's ull_runqueue and records the resulting placements.
 func (e *Engine) spliceMergeVCPUs(ctx *vmm.ResumeContext, st *pausedState) error {
-	// Snapshot the source elements: after the splice they are the
-	// sandbox's queue placements.
-	elems := make([]*runqueue.Element, 0, st.pre.Source().Len())
+	// Snapshot the source elements into the engine's reusable scratch:
+	// after the splice they are the sandbox's queue placements.
+	elems := e.spliceScratch[:0]
 	for el := st.pre.Source().Front(); el != nil; el = el.Next() {
 		elems = append(elems, el)
 	}
+	e.spliceScratch = elems
 	ctx.Charge(vmm.StepPSM, e.h.Costs().PSMMerge)
 	res, err := st.queue.MergePSM(st.pre)
 	if err != nil {
 		return err
 	}
-	if m := e.h.Metrics(); m != nil {
-		m.Counter("horse_splice_ops_total").Inc()
-		m.Counter("horse_spliced_vcpus_total").Add(uint64(len(elems)))
-	}
+	e.spliceOps.Inc()
+	e.splicedVCPUs.Add(uint64(len(elems)))
 	for _, el := range elems {
 		ctx.Place(st.queue, el)
 	}
@@ -360,9 +387,7 @@ func (e *Engine) dropState(sb *vmm.Sandbox, st *pausedState) {
 		st.queue.Unobserve(st.pre)
 	}
 	delete(e.states, sb.ID())
-	if m := e.h.Metrics(); m != nil {
-		m.Gauge("horse_prepared_sandboxes").Set(int64(len(e.states)))
-	}
+	e.prepared.Set(int64(len(e.states)))
 }
 
 // Validate cross-checks every prepared sandbox's auxiliary structures

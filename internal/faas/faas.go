@@ -297,7 +297,9 @@ func (p *Platform) Register(fn workload.Function, spec SandboxSpec) (*Deployment
 	if spec.WorkingSet == 0 {
 		spec.WorkingSet = 0.05
 	}
-	d := &Deployment{fn: fn, spec: spec}
+	// The gap ring is preallocated at its cap so recordTrigger's append
+	// on the per-trigger path never grows the backing array.
+	d := &Deployment{fn: fn, spec: spec, gaps: make([]simtime.Duration, 0, gapHistoryCap)}
 	p.deployments[fn.Name()] = d
 	return d, nil
 }
@@ -370,11 +372,16 @@ func (p *Platform) EnsureSnapshot(name string) error {
 	return nil
 }
 
-// takeWarm pops a pooled sandbox armed with the wanted policy.
+// takeWarm pops a pooled sandbox armed with the wanted policy. The
+// removal shifts in place and truncates: the pool's backing array is
+// reused, so the warm path never allocates here.
+//
+//horselint:hotpath
 func (d *Deployment) takeWarm(policy core.Policy) (pooledSandbox, bool) {
 	for i, ps := range d.pool {
 		if ps.policy == policy {
-			d.pool = append(d.pool[:i], d.pool[i+1:]...)
+			copy(d.pool[i:], d.pool[i+1:])
+			d.pool = d.pool[:len(d.pool)-1]
 			return ps, true
 		}
 	}

@@ -58,6 +58,7 @@ type FallbackConfig struct {
 	RetryBackoff simtime.Duration
 }
 
+//horselint:hotpath
 func (c FallbackConfig) maxRetries() int {
 	if !c.Enabled || c.MaxRetries < 0 {
 		return 0
@@ -68,6 +69,7 @@ func (c FallbackConfig) maxRetries() int {
 	return c.MaxRetries
 }
 
+//horselint:hotpath
 func (c FallbackConfig) retryBackoff() simtime.Duration {
 	if c.RetryBackoff <= 0 {
 		return DefaultRetryBackoff
@@ -75,11 +77,35 @@ func (c FallbackConfig) retryBackoff() simtime.Duration {
 	return c.RetryBackoff
 }
 
+// singleChains holds one static single-element chain per mode so the
+// no-fallback paths of chainFrom return without allocating per trigger.
+var singleChains = [ModeHorse + 1][1]StartMode{
+	ModeCold:    {ModeCold},
+	ModeRestore: {ModeRestore},
+	ModeWarm:    {ModeWarm},
+	ModeHorse:   {ModeHorse},
+}
+
+// singleChain returns the static one-element chain for mode.
+//
+//horselint:hotpath
+func singleChain(mode StartMode) []StartMode {
+	if mode >= ModeCold && mode <= ModeHorse {
+		return singleChains[mode][:]
+	}
+	// TriggerTraced rejects out-of-enum modes before any chain is
+	// built, so this defensive allocation never runs per trigger.
+	//horselint:allow-hotpath defensive slice for an out-of-enum mode; unreachable from the trigger path
+	return []StartMode{mode}
+}
+
 // chainFrom returns the mode sequence a trigger requested under mode
 // should attempt, in order.
+//
+//horselint:hotpath
 func (c FallbackConfig) chainFrom(mode StartMode) []StartMode {
 	if !c.Enabled {
-		return []StartMode{mode}
+		return singleChain(mode)
 	}
 	chain := c.Chain
 	if len(chain) == 0 {
@@ -90,7 +116,7 @@ func (c FallbackConfig) chainFrom(mode StartMode) []StartMode {
 			return chain[i:]
 		}
 	}
-	return []StartMode{mode}
+	return singleChain(mode)
 }
 
 // attemptWithRetry runs one chain position: the attempt itself plus the

@@ -138,6 +138,14 @@ func (s *Stopwatch) Charge(label string, cost Duration) {
 	s.steps = append(s.steps, StopwatchResult{Label: label, Cost: cost})
 }
 
+// Reset rebinds the stopwatch to clock and clears its steps, keeping
+// the backing array so a pooled stopwatch records the next frame's
+// steps without reallocating.
+func (s *Stopwatch) Reset(clock *Clock) {
+	s.clock = clock
+	s.steps = s.steps[:0]
+}
+
 // Steps returns a copy of the recorded steps in first-seen order.
 func (s *Stopwatch) Steps() []StopwatchResult {
 	out := make([]StopwatchResult, len(s.steps))

@@ -18,6 +18,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//horselint:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -25,6 +27,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//horselint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -60,6 +64,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//horselint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -67,6 +73,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta.
+//
+//horselint:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)

@@ -232,9 +232,13 @@ type Context struct {
 }
 
 // Active reports whether the context records anything.
+//
+//horselint:hotpath
 func (c Context) Active() bool { return c.tr != nil }
 
 // ID returns the trace ID (zero for an inert context).
+//
+//horselint:hotpath
 func (c Context) ID() TraceID {
 	if c.tr == nil {
 		return 0
@@ -252,6 +256,8 @@ func (c Context) IDString() string {
 
 // SetNode sets the node subsequent stages default to when recorded
 // without an explicit one; the cluster calls it once per placement.
+//
+//horselint:hotpath
 func (c Context) SetNode(node string) {
 	if c.tr == nil {
 		return
@@ -296,6 +302,8 @@ func (c Context) Reroute(start simtime.Time, node, reason string) {
 }
 
 // Mark returns a position in the stage list for a later CollapseFailed.
+//
+//horselint:hotpath
 func (c Context) Mark() int {
 	if c.tr == nil {
 		return 0

@@ -81,6 +81,14 @@ type Hypervisor struct {
 	// hypervisor spans join the trigger's causal tree in a merged
 	// Perfetto view. The FaaS layer sets it around each traced attempt.
 	traceTag string
+
+	// pauseFrame and resumeFrame are reusable lifecycle frames: the
+	// hypervisor runs on one goroutine and frames of the same kind never
+	// overlap on the trigger path, so Begin{Pause,Resume} reuse them
+	// (stopwatch backing array included) instead of allocating per
+	// operation. An overlapping frame falls back to a fresh allocation.
+	pauseFrame  *PauseContext
+	resumeFrame *ResumeContext
 }
 
 // Options configures a Hypervisor.
@@ -361,13 +369,17 @@ func (h *Hypervisor) BeginPause(sb *Sandbox, policy string) (*PauseContext, erro
 	if h.traceTag != "" {
 		span.Attr("trigger", h.traceTag)
 	}
-	return &PauseContext{
-		h:      h,
-		sb:     sb,
-		sw:     simtime.NewStopwatch(h.clock),
-		span:   span,
-		policy: policy,
-	}, nil
+	c := h.pauseFrame
+	if c == nil || !c.done {
+		c = &PauseContext{sw: simtime.NewStopwatch(h.clock), done: true}
+		if h.pauseFrame == nil {
+			h.pauseFrame = c
+		}
+	}
+	sw := c.sw
+	sw.Reset(h.clock)
+	*c = PauseContext{h: h, sb: sb, sw: sw, span: span, policy: policy}
+	return c, nil
 }
 
 // Sandbox returns the sandbox being paused.
@@ -403,7 +415,10 @@ func (c *PauseContext) RemoveVCPUs() error {
 		}
 		ent.Credit = credit
 	}
-	c.sb.placements = nil
+	// Truncate instead of dropping the backing array: the resume that
+	// follows re-places the same vCPU count, so Place appends back into
+	// this capacity without growing.
+	c.sb.placements = c.sb.placements[:0]
 	return nil
 }
 
@@ -465,28 +480,35 @@ func (h *Hypervisor) BeginResume(sb *Sandbox, policy string, fast bool) (*Resume
 	if h.traceTag != "" {
 		span.Attr("trigger", h.traceTag)
 	}
-	sw := simtime.NewStopwatch(h.clock)
-	charge := func(label string, d simtime.Duration) {
-		sw.Charge(label, d)
-		span.Step(label, d)
+	c := h.resumeFrame
+	if c == nil || !c.done {
+		c = &ResumeContext{sw: simtime.NewStopwatch(h.clock), done: true}
+		if h.resumeFrame == nil {
+			h.resumeFrame = c
+		}
 	}
+	sw := c.sw
+	sw.Reset(h.clock)
+	*c = ResumeContext{h: h, sb: sb, sw: sw, span: span, policy: policy, fast: fast}
 	if fast {
-		charge(StepFastPath, h.costs.HorseFixed)
+		c.Charge(StepFastPath, h.costs.HorseFixed)
 	} else {
-		charge(StepParse, h.costs.Parse)
-		charge(StepLock, h.costs.Lock)
-		charge(StepSanity, h.costs.Sanity)
+		c.Charge(StepParse, h.costs.Parse)
+		c.Charge(StepLock, h.costs.Lock)
+		c.Charge(StepSanity, h.costs.Sanity)
 	}
 	if sb.state == StateStopped {
 		span.End()
+		c.done = true
 		return nil, fmt.Errorf("%w: %s", ErrStopped, sb.id)
 	}
 	if sb.state != StatePaused {
 		span.End()
+		c.done = true
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotPaused, sb.id, sb.state)
 	}
 	h.resumeLock = true
-	return &ResumeContext{h: h, sb: sb, sw: sw, span: span, policy: policy, fast: fast}, nil
+	return c, nil
 }
 
 // Sandbox returns the sandbox being resumed.
