@@ -32,6 +32,7 @@ func runCluster(args []string, w io.Writer) error {
 			"workload list, e.g. scan=poisson:rate=2000/s;thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
 		horizon  = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
 		seed     = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
+		shards   = fs.Int("shards", 1, "worker goroutines for the parallel serve phase (clamped to [1, nodes]; the report is byte-identical at every value)")
 		faults   = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
 		format   = fs.String("format", "csv", "report format: csv|json")
 		traceOut = fs.String("trace-out", "", "write retained trigger span trees (SLO violators + worst-K) as Perfetto JSON to this file")
@@ -69,6 +70,7 @@ func runCluster(args []string, w io.Writer) error {
 		Seed:     *seed,
 		Faults:   injector,
 		Fallback: horse.FallbackConfig{Enabled: true},
+		Shards:   *shards,
 	})
 	if err != nil {
 		return err

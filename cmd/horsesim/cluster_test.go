@@ -141,3 +141,19 @@ func TestClusterTraceOutAttributionMatches(t *testing.T) {
 		t.Fatalf("attribution section has no serving invoke row:\n%s", out)
 	}
 }
+
+// TestClusterShardsAreByteIdentical pins the -shards flag's contract:
+// sharding the serve phase may only change wall-clock time, never a
+// byte of the report. Out-of-range values clamp rather than fail.
+func TestClusterShardsAreByteIdentical(t *testing.T) {
+	base := []string{"-nodes", "8", "-policy", "ull-affinity", "-seed", "42",
+		"-faults", "cluster.node.fail:nth=20"}
+	sequential := clusterOut(t, append(base, "-shards", "1")...)
+	for _, shards := range []string{"3", "8", "64"} {
+		sharded := clusterOut(t, append(base, "-shards", shards)...)
+		if !bytes.Equal(sequential, sharded) {
+			t.Fatalf("-shards %s produced a different report than -shards 1:\n--- shards=1 ---\n%s\n--- shards=%s ---\n%s",
+				shards, sequential, shards, sharded)
+		}
+	}
+}

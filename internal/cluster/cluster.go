@@ -100,6 +100,13 @@ type Options struct {
 	// direct Trigger caller without one pays only the inert-context
 	// early-returns (BenchmarkContextDisabled).
 	Trace *trigtrace.Recorder
+	// Shards is how many worker goroutines Run's conservative-PDES
+	// serve phase drains the node-local engines on (DESIGN.md §13).
+	// Values outside [1, len(nodes)] are clamped; 0 selects 1
+	// (sequential). The report is byte-identical at every shard count:
+	// sharding bounds only which goroutine serves which node, never
+	// what any node computes.
+	Shards int
 }
 
 // Cluster is a deterministic multi-node HORSE deployment.
@@ -113,6 +120,7 @@ type Cluster struct {
 	faults      *faultinject.Injector
 	metrics     *telemetry.Registry
 	seed        int64
+	shards      int
 
 	// rec, seq, and sloBudgets drive per-trigger tracing: rec mints one
 	// context per arrival (seq is the arrival index its trace ID derives
@@ -145,6 +153,13 @@ func New(opts Options) (*Cluster, error) {
 		policy = PolicyRoundRobin
 	}
 	engine := eventsim.New(nil)
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(specs) {
+		shards = len(specs)
+	}
 	c := &Cluster{
 		clock:       engine.Clock(),
 		engine:      engine,
@@ -152,6 +167,7 @@ func New(opts Options) (*Cluster, error) {
 		faults:      opts.Faults,
 		metrics:     opts.Metrics,
 		seed:        opts.Seed,
+		shards:      shards,
 		rec:         opts.Trace,
 		failovers:   make(map[string]uint64),
 	}
@@ -161,22 +177,29 @@ func New(opts Options) (*Cluster, error) {
 		if ullQueues < 1 {
 			ullQueues = 1
 		}
+		id := fmt.Sprintf("node%02d", i)
 		p, err := faas.New(faas.Options{
 			CPUs:      spec.CPUs,
 			ULLQueues: ullQueues,
 			Metrics:   opts.Metrics,
-			Faults:    opts.Faults,
-			Fallback:  opts.Fallback,
+			// Each node's platform gets its own derived fault stream so
+			// the §7 sites draw independently per node: a shard serving
+			// node02 never advances node00's PRNG, which is what keeps
+			// fault decisions identical at every shard count. The
+			// cluster-level sites (cluster.node.*) stay on the parent
+			// injector, checked only at the single-threaded coordinator.
+			Faults:   opts.Faults.Derive(id),
+			Fallback: opts.Fallback,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		id := fmt.Sprintf("node%02d", i)
 		c.nodes = append(c.nodes, &Node{
 			id:       id,
 			index:    i,
 			spec:     spec,
 			platform: p,
+			engine:   eventsim.New(p.Clock()),
 			health:   Up,
 			// Prebind the per-trigger instruments so the hot path skips
 			// the registry lookup (nil registry ⇒ inert nil handles).
@@ -455,6 +478,31 @@ func (c *Cluster) Fail(id string) error {
 	}
 	n.health = Failed
 	return nil
+}
+
+// resetRunState clears every piece of per-run accumulator state so
+// back-to-back Runs on one cluster report exactly what a fresh cluster
+// would. Before this reset existed, a second Run inherited the first
+// run's rejected/failed/failover tallies, node placement counters, the
+// round-robin cursor, stale SLO budgets, and — worst — the lazily
+// armed trace recorder's aggregates and retained flight traces, so its
+// report double-counted the previous experiment. Cumulative state that
+// is cumulative by design survives: the telemetry registry's
+// instruments, the fault injector's visit counters, and the node-local
+// clocks (Run settles those into a well-defined start instant).
+func (c *Cluster) resetRunState() {
+	c.seq = 0
+	c.rejected = 0
+	c.failed = 0
+	c.rehomeFailed = 0
+	c.failovers = make(map[string]uint64)
+	c.sloBudgets = nil
+	c.router.policy.reset()
+	c.rec.Reset()
+	for _, n := range c.nodes {
+		n.placements = 0
+		n.served = 0
+	}
 }
 
 // countFailover records one voided routing decision.

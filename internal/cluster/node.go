@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/horse-faas/horse/internal/core"
+	"github.com/horse-faas/horse/internal/eventsim"
 	"github.com/horse-faas/horse/internal/faas"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
@@ -87,6 +88,14 @@ type Node struct {
 	spec     NodeSpec
 	platform *faas.Platform
 	health   Health
+
+	// engine is the node-local discrete-event engine of the
+	// conservative-PDES run loop (DESIGN.md §13). It shares the
+	// platform's local clock, so draining it advances exactly the clock
+	// the node's lag is measured from. The coordinator schedules routed
+	// triggers here between barriers; during a serve barrier only the
+	// node's own shard touches it.
+	engine *eventsim.Engine
 
 	// placements counts routing decisions that picked this node;
 	// served counts triggers that completed here. The difference is

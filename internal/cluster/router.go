@@ -46,6 +46,10 @@ func Policies() []string {
 type placementPolicy interface {
 	name() string
 	pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error)
+	// reset returns any cross-trigger policy state (cursors) to its
+	// just-built value, so back-to-back Runs on one cluster route
+	// exactly like runs on a fresh cluster.
+	reset()
 }
 
 // Router applies the cluster's placement policy and keeps the per-node
@@ -100,6 +104,8 @@ type roundRobin struct {
 
 func (*roundRobin) name() string { return PolicyRoundRobin }
 
+func (rr *roundRobin) reset() { rr.next = 0 }
+
 //horselint:hotpath
 func (rr *roundRobin) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	total := len(c.nodes)
@@ -121,6 +127,8 @@ func (rr *roundRobin) pick(c *Cluster, fn string, ull bool, excluded map[int]boo
 type leastLoaded struct{}
 
 func (leastLoaded) name() string { return PolicyLeastLoaded }
+
+func (leastLoaded) reset() {}
 
 //horselint:hotpath
 func (leastLoaded) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
@@ -229,6 +237,10 @@ func newULLAffinity(c *Cluster, vnodes int, boundFactor float64, minHeadroom sim
 }
 
 func (*ullAffinity) name() string { return PolicyULLAffinity }
+
+// reset is a no-op: the ring and spill thresholds are pure functions of
+// construction-time state, and the visited scratch is per-pick.
+func (*ullAffinity) reset() {}
 
 //horselint:hotpath
 func (a *ullAffinity) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {

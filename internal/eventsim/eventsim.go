@@ -29,6 +29,11 @@ type Handler func(now simtime.Time)
 // virtual instant.
 var ErrPastEvent = errors.New("eventsim: event scheduled in the past")
 
+// ErrMaxEvents is the runaway guard: Run and RunUntil return an error
+// matching it (with the fired and pending counts) when the event budget
+// is exhausted while work is still pending.
+var ErrMaxEvents = errors.New("eventsim: max events exceeded")
+
 type event struct {
 	id      EventID
 	at      simtime.Time
@@ -78,6 +83,7 @@ type Engine struct {
 	pending map[EventID]*event
 	nextID  EventID
 	nextSeq uint64
+	fired   uint64 // lifetime count of events fired (Step/Run/RunUntil)
 }
 
 // New returns an engine over the given clock. Passing a nil clock creates
@@ -100,6 +106,12 @@ func (e *Engine) Now() simtime.Time { return e.clock.Now() }
 
 // Len returns the number of pending events.
 func (e *Engine) Len() int { return len(e.heap) }
+
+// Fired returns how many events this engine has fired over its
+// lifetime, across Step, Run, and RunUntil. Run and RunUntil use it to
+// account their budgets; callers can diff it around a call to attribute
+// event counts to one phase of a simulation.
+func (e *Engine) Fired() uint64 { return e.fired }
 
 // Schedule registers handler to fire at the absolute instant at.
 // Scheduling at the current instant is allowed (the event fires on the
@@ -141,27 +153,37 @@ func (e *Engine) Cancel(id EventID) bool {
 
 // Step fires the earliest pending event, advancing the clock to its
 // instant first. It reports whether an event fired.
+//
+// The advance is clamped: when a handler has already driven the clock
+// past the next event's instant (a node-local engine whose handlers
+// charge virtual work does exactly that), the event fires at the
+// current instant instead of panicking the clock backward. The handler
+// still receives the event's scheduled instant as now.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
 	ev := heap.Pop(&e.heap).(*event)
 	delete(e.pending, ev.id)
-	e.clock.AdvanceTo(ev.at)
+	if ev.at > e.clock.Now() {
+		e.clock.AdvanceTo(ev.at)
+	}
+	e.fired++
 	ev.handler(ev.at)
 	return true
 }
 
 // Run fires events until none remain. Handlers may schedule further
-// events; Run continues until the queue drains. maxEvents bounds the total
-// number of events fired (0 means unbounded) and guards against runaway
-// self-scheduling loops; exceeding it returns an error.
+// events; Run continues until the queue drains. maxEvents bounds the
+// number of events fired by this call (0 means unbounded) and guards
+// against runaway self-scheduling loops; exceeding it returns an error
+// matching ErrMaxEvents that carries the fired and pending counts.
 func (e *Engine) Run(maxEvents int) error {
-	fired := 0
+	start := e.fired
 	for e.Step() {
-		fired++
-		if maxEvents > 0 && fired >= maxEvents && e.Len() > 0 {
-			return fmt.Errorf("eventsim: run exceeded %d events with %d still pending", maxEvents, e.Len())
+		if maxEvents > 0 && e.fired-start >= uint64(maxEvents) && e.Len() > 0 {
+			return fmt.Errorf("%w: run fired %d events (cap %d) with %d still pending",
+				ErrMaxEvents, e.fired-start, maxEvents, e.Len())
 		}
 	}
 	return nil
@@ -169,13 +191,25 @@ func (e *Engine) Run(maxEvents int) error {
 
 // RunUntil fires events whose instant is <= deadline, then advances the
 // clock to the deadline. Events beyond the deadline remain pending.
-func (e *Engine) RunUntil(deadline simtime.Time) {
+// maxEvents bounds the number of events fired by this call (0 means
+// unbounded), closing the loophole where a self-scheduling chain could
+// fire unbounded events inside one deadline window; exhausting the
+// budget with in-window events still pending returns an error matching
+// ErrMaxEvents (and leaves the clock where the last event put it).
+func (e *Engine) RunUntil(deadline simtime.Time, maxEvents int) error {
+	start := e.fired
 	for len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
+		if maxEvents > 0 && e.fired-start >= uint64(maxEvents) &&
+			len(e.heap) > 0 && e.heap[0].at <= deadline {
+			return fmt.Errorf("%w: run-until %v fired %d events (cap %d) with %d still pending",
+				ErrMaxEvents, deadline, e.fired-start, maxEvents, e.Len())
+		}
 	}
 	if e.clock.Now() < deadline {
 		e.clock.AdvanceTo(deadline)
 	}
+	return nil
 }
 
 // NextAt returns the instant of the earliest pending event. ok is false if

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -150,8 +151,78 @@ func TestRunMaxEventsGuard(t *testing.T) {
 	if _, err := e.Schedule(0, loop); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(100); err == nil {
+	err := e.Run(100)
+	if err == nil {
 		t.Fatal("runaway loop not detected")
+	}
+	if !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("runaway error = %v, want ErrMaxEvents", err)
+	}
+	// The error must carry how many events actually fired (satellite of
+	// the runaway-guard bugfix: Run used to drop the fired count).
+	if want := "fired 100 events"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("runaway error %q does not report the fired count (%q)", err, want)
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("Fired() = %d, want 100", e.Fired())
+	}
+}
+
+// TestRunUntilMaxEventsGuard closes the runaway-guard bypass: a
+// self-scheduling chain inside one deadline window used to fire
+// unbounded events through RunUntil with no accounting at all.
+func TestRunUntilMaxEventsGuard(t *testing.T) {
+	e := New(nil)
+	var loop Handler
+	loop = func(simtime.Time) {
+		// Re-schedule at the current instant: an infinite same-window chain.
+		_, _ = e.Schedule(e.Now(), loop)
+	}
+	if _, err := e.Schedule(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	err := e.RunUntil(10, 50)
+	if err == nil {
+		t.Fatal("runaway same-window loop not detected by RunUntil")
+	}
+	if !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("runaway error = %v, want ErrMaxEvents", err)
+	}
+	if !strings.Contains(err.Error(), "fired 50 events") {
+		t.Fatalf("runaway error %q does not report the fired count", err)
+	}
+	// The budget is per call, not per engine lifetime: a fresh call gets a
+	// fresh budget and trips again rather than instantly erroring.
+	if err := e.RunUntil(10, 50); !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("second RunUntil = %v, want ErrMaxEvents again", err)
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("Fired() = %d, want 100 across both calls", e.Fired())
+	}
+}
+
+// TestStepClampsClockAdvance pins the node-local-engine contract: a
+// handler that drives the shared clock past the next pending event's
+// instant (virtual work charged mid-event) must not panic the clock
+// backward — the late event fires at the current instant.
+func TestStepClampsClockAdvance(t *testing.T) {
+	e := New(nil)
+	var fired []simtime.Time
+	if _, err := e.Schedule(10, func(simtime.Time) {
+		e.Clock().AdvanceTo(100) // virtual work overshoots the next event
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(20, func(simtime.Time) {
+		fired = append(fired, e.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("overtaken event fired at %v, want at the clamped instant 100", fired)
 	}
 }
 
@@ -163,7 +234,9 @@ func TestRunUntil(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.RunUntil(20)
+	if err := e.RunUntil(20, 0); err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 2 {
 		t.Fatalf("fired %v, want events at 5 and 15 only", got)
 	}
@@ -174,7 +247,9 @@ func TestRunUntil(t *testing.T) {
 		t.Fatalf("pending = %d, want 1", e.Len())
 	}
 	// The remaining event still fires on a later run.
-	e.RunUntil(30)
+	if err := e.RunUntil(30, 0); err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 || got[2] != 25 {
 		t.Fatalf("fired %v, want final event at 25", got)
 	}

@@ -1,0 +1,85 @@
+package eventsim
+
+import (
+	"errors"
+	"sync"
+)
+
+// ShardGroup is the barrier primitive of the conservative-PDES cluster
+// run (DESIGN.md §13): it owns one persistent worker goroutine per
+// shard and executes one closure per shard in lockstep — Each returns
+// only when every shard's closure has. All cross-shard state (router
+// scores, fault mutations, report accumulation) belongs to the caller
+// and must only be touched between Each calls, which is what makes a
+// sharded simulation deterministic: the goroutines never interleave on
+// shared state, they only bound which shard serves which node.
+//
+// A group of one shard spawns no goroutines at all — Each runs the
+// closure inline on the caller's goroutine — so a single-shard run is
+// truly sequential, not "parallel with one worker".
+type ShardGroup struct {
+	work []chan func()
+	wg   sync.WaitGroup
+}
+
+// NewShardGroup builds a group of n shards (n < 1 is treated as 1) and
+// starts its workers. The caller must Close the group to stop them.
+func NewShardGroup(n int) *ShardGroup {
+	g := &ShardGroup{}
+	if n < 2 {
+		return g
+	}
+	g.work = make([]chan func(), n)
+	for i := range g.work {
+		ch := make(chan func())
+		g.work[i] = ch
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			for f := range ch {
+				f()
+			}
+		}()
+	}
+	return g
+}
+
+// Shards returns the group's shard count (≥ 1).
+func (g *ShardGroup) Shards() int {
+	if len(g.work) == 0 {
+		return 1
+	}
+	return len(g.work)
+}
+
+// Each runs fn(shard) once per shard and blocks until all have
+// returned — one barrier step. Shard errors are joined in shard-index
+// order, so the combined error is deterministic regardless of which
+// worker finished first.
+func (g *ShardGroup) Each(fn func(shard int) error) error {
+	if len(g.work) == 0 {
+		return fn(0)
+	}
+	errs := make([]error, len(g.work))
+	var wg sync.WaitGroup
+	wg.Add(len(g.work))
+	for i, ch := range g.work {
+		i := i
+		ch <- func() {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close stops the workers and waits for them to exit. The group must
+// not be used after Close; closing a 1-shard group is a no-op.
+func (g *ShardGroup) Close() {
+	for _, ch := range g.work {
+		close(ch)
+	}
+	g.wg.Wait()
+	g.work = nil
+}

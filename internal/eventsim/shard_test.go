@@ -1,0 +1,137 @@
+package eventsim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/testutil"
+)
+
+func TestShardGroupEachRunsEveryShard(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewShardGroup(4)
+	defer g.Close()
+	if g.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", g.Shards())
+	}
+	var hits [4]atomic.Uint64
+	for round := 0; round < 3; round++ {
+		if err := g.Each(func(shard int) error {
+			hits[shard].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 3 {
+			t.Fatalf("shard %d ran %d times, want 3", i, got)
+		}
+	}
+}
+
+func TestShardGroupSingleShardIsInline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewShardGroup(1)
+	defer g.Close()
+	if g.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", g.Shards())
+	}
+	// A 1-shard group must run on the caller's goroutine: driving an
+	// engine from the closure is then exactly as safe as driving it
+	// directly, with no cross-goroutine clock hand-off.
+	e := New(nil)
+	if _, err := e.Schedule(10, func(simtime.Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Each(func(shard int) error { return e.Run(0) }); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("engine clock = %v, want 10", e.Now())
+	}
+}
+
+func TestShardGroupJoinsErrorsInShardOrder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewShardGroup(3)
+	defer g.Close()
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := g.Each(func(shard int) error {
+		switch shard {
+		case 0:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v does not carry both shard errors", err)
+	}
+	// Joined in shard-index order, regardless of completion order.
+	if want := "b\na"; err.Error() != want {
+		t.Fatalf("joined error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestShardGroupDrivesEnginesInParallelDeterministically(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// One engine per shard, each with its own event chain: the barrier
+	// must produce the same per-engine end state no matter how the
+	// workers interleave.
+	const shards = 4
+	run := func() []simtime.Time {
+		g := NewShardGroup(shards)
+		defer g.Close()
+		engines := make([]*Engine, shards)
+		for i := range engines {
+			engines[i] = New(nil)
+			for k := 0; k < 100; k++ {
+				at := simtime.Time((i + 1) * (k + 1))
+				if _, err := engines[i].Schedule(at, func(simtime.Time) {}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := g.Each(func(shard int) error {
+			return engines[shard].Run(0)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]simtime.Time, shards)
+		for i, e := range engines {
+			if e.Len() != 0 {
+				return nil
+			}
+			out[i] = e.Now()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a == nil || b == nil {
+		t.Fatal("engines did not drain")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d clock diverged across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardGroupCloseStopsWorkers(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, n := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards-%d", n), func(t *testing.T) {
+			g := NewShardGroup(n)
+			if err := g.Each(func(int) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			g.Close()
+		})
+	}
+}

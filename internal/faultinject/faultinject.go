@@ -187,6 +187,35 @@ func (in *Injector) site(s Site) *siteState {
 	return st
 }
 
+// Derive returns a child injector arming the same rules under a
+// scope-mixed seed: each of the child's per-site PRNG streams is seeded
+// by (seed ^ fnv64a(scope)) ^ fnv64a(site), and its visit counters
+// start at zero. Children exist so concurrent consumers — one platform
+// per cluster node, each checked from its own shard goroutine — get
+// independent deterministic fault streams instead of racing on one
+// shared PRNG: deriving with the node id gives every node the same
+// rule set but its own reproducible draw sequence, independent of how
+// often the other nodes are checked. Safe on a nil injector (returns
+// nil, which is inert).
+func (in *Injector) Derive(scope string) *Injector {
+	if in == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(scope))
+	child := &Injector{seed: in.seed ^ int64(h.Sum64()), sites: make(map[Site]*siteState)}
+	sites := make([]Site, 0, len(in.sites))
+	for s := range in.sites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		st := child.site(s)
+		st.rules = append(st.rules, in.sites[s].rules...)
+	}
+	return child
+}
+
 // Check evaluates site's rules against this visit and returns the
 // injected fault, or nil to proceed. Safe on a nil injector.
 func (in *Injector) Check(site Site) error {

@@ -9,7 +9,7 @@
 // stores *TriggerTrace span trees in it — and is safe for concurrent
 // use: one mutex guards all state, so multiple node goroutines can
 // offer traces into a shared recorder (the conservative-PDES cluster
-// refactor on the ROADMAP needs exactly that).
+// run loop of DESIGN.md §13 relies on exactly that).
 //
 // Retention is deterministic: same offer sequence, same scores, same
 // retained set. Ties in the worst-K set keep the earlier offer, the
@@ -141,6 +141,32 @@ func (b *Buffer[T]) offerWorst(item T, seq uint64) bool {
 	copy(b.worst[i+1:], b.worst[i:])
 	b.worst[i] = entry
 	return true
+}
+
+// Reset empties the ring and the worst-K set and zeroes every counter,
+// returning the buffer to its freshly built state (capacities kept).
+// Retained items are released for collection. The cluster resets its
+// recorder's buffer at the top of each run so back-to-back runs on one
+// cluster cannot leak the previous run's retained traces.
+func (b *Buffer[T]) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var zero T
+	for i := range b.ring {
+		b.ring[i] = zero
+	}
+	b.ring = b.ring[:0]
+	b.head = 0
+	b.evicted = 0
+	for i := range b.worst {
+		b.worst[i] = scored[T]{}
+	}
+	b.worst = b.worst[:0]
+	b.offered = 0
+	b.kept = 0
 }
 
 // Ring returns the must-keep ring, oldest first. The caller owns the

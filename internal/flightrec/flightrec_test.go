@@ -162,3 +162,47 @@ func TestConcurrentOffers(t *testing.T) {
 		}
 	}
 }
+
+func TestResetReturnsBufferToFreshState(t *testing.T) {
+	b := newTestBuffer(2, 2)
+	for i := 0; i < 5; i++ {
+		b.Offer(item{id: i, score: simtime.Duration(i * 10)}, true)
+	}
+	if b.Evicted() == 0 || b.Len() == 0 {
+		t.Fatal("setup did not populate ring and worst-K")
+	}
+
+	b.Reset()
+
+	if got := b.Ring(); len(got) != 0 {
+		t.Fatalf("Ring after Reset = %v, want empty", got)
+	}
+	if got := b.Worst(); len(got) != 0 {
+		t.Fatalf("Worst after Reset = %v, want empty", got)
+	}
+	if b.Offered() != 0 || b.Kept() != 0 || b.Evicted() != 0 || b.Len() != 0 {
+		t.Fatalf("counters after Reset = offered %d kept %d evicted %d len %d, want all zero",
+			b.Offered(), b.Kept(), b.Evicted(), b.Len())
+	}
+
+	// The buffer must behave exactly like a freshly built one: offer
+	// sequencing restarts, so tie-breaks and ring eviction replay the
+	// fresh-buffer retention decisions.
+	for i := 0; i < 3; i++ {
+		b.Offer(item{id: 100 + i, score: 5}, true)
+	}
+	if got := ids(b.Ring()); len(got) != 2 || got[0] != 101 || got[1] != 102 {
+		t.Fatalf("Ring after Reset+offers = %v, want [101 102]", got)
+	}
+	if got := ids(b.Worst()); len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("Worst after Reset+offers = %v, want earliest offers [100 101]", got)
+	}
+	if b.Evicted() != 1 {
+		t.Fatalf("Evicted after Reset+offers = %d, want 1", b.Evicted())
+	}
+}
+
+func TestResetNilBuffer(t *testing.T) {
+	var b *Buffer[item]
+	b.Reset() // must not panic
+}

@@ -88,6 +88,27 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 	return r
 }
 
+// Reset clears the attribution aggregates, the finished/violated/
+// reconcile counters, and the flight recorder, returning the recorder
+// to its freshly built state. The seed, retention sizing, and prebound
+// instrument handles are kept (registry counters are cumulative by
+// design, like every other instrument). Cluster.Run calls this at the
+// top of each run so a recorder reused across back-to-back runs —
+// lazily armed or caller-supplied — reports only the run at hand.
+// Safe on a nil recorder.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.agg = make(map[aggKey]*aggCell)
+	r.finished = 0
+	r.violated = 0
+	r.reconcile = 0
+	r.mu.Unlock()
+	r.flight.Reset()
+}
+
 // Seed returns the seed trace IDs derive from.
 func (r *Recorder) Seed() int64 {
 	if r == nil {

@@ -1,0 +1,72 @@
+package trigtrace
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// TestRecorderResetClearsRunState pins the cross-run state-leak fix:
+// a recorder reused across back-to-back cluster runs must report only
+// the run at hand after Reset — aggregates, counters, and the flight
+// recorder all return to their freshly built state.
+func TestRecorderResetClearsRunState(t *testing.T) {
+	rec := NewRecorder(RecorderOptions{Seed: 11, WorstK: 4})
+
+	record := func(seq uint64, violate bool) {
+		budget := simtime.Duration(1000)
+		tc := rec.Start(seq, "echo", "horse", 0, budget)
+		dur := simtime.Duration(100)
+		if violate {
+			dur = simtime.Duration(5000)
+		}
+		tc.RecordOn(StageInvoke, 0, dur, "n0", "horse", "")
+		tc.Complete(Outcome{Served: "horse", Node: "n0", Latency: dur})
+	}
+
+	record(0, false)
+	record(1, true)
+	record(2, true)
+	if rec.Finished() != 3 || rec.Violations() != 2 {
+		t.Fatalf("setup: Finished=%d Violations=%d, want 3/2", rec.Finished(), rec.Violations())
+	}
+	if len(rec.Traces()) == 0 || len(rec.Attribution()) == 0 {
+		t.Fatal("setup did not retain traces and aggregates")
+	}
+
+	rec.Reset()
+
+	if rec.Finished() != 0 || rec.Violations() != 0 || rec.ReconcileFailures() != 0 {
+		t.Fatalf("after Reset: Finished=%d Violations=%d Reconcile=%d, want all zero",
+			rec.Finished(), rec.Violations(), rec.ReconcileFailures())
+	}
+	if got := rec.Traces(); len(got) != 0 {
+		t.Fatalf("after Reset: %d retained traces, want none", len(got))
+	}
+	if got := rec.Attribution(); len(got) != 0 {
+		t.Fatalf("after Reset: %d attribution rows, want none", len(got))
+	}
+	if rec.Seed() != 11 {
+		t.Fatalf("Reset changed seed to %d", rec.Seed())
+	}
+
+	// Recording after Reset aggregates freshly, as on a new recorder.
+	record(0, true)
+	if rec.Finished() != 1 || rec.Violations() != 1 {
+		t.Fatalf("after Reset+record: Finished=%d Violations=%d, want 1/1", rec.Finished(), rec.Violations())
+	}
+	rows := rec.Attribution()
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Fatalf("after Reset+record: attribution %+v, want one row with count 1", rows)
+	}
+	if got := rec.Traces(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("after Reset+record: retained %+v, want the one new trace", got)
+	}
+}
+
+// TestRecorderResetNil pins nil-safety: the cluster calls Reset before
+// it knows whether tracing is armed.
+func TestRecorderResetNil(t *testing.T) {
+	var rec *Recorder
+	rec.Reset() // must not panic
+}
