@@ -23,6 +23,15 @@
 //	             attached to production function declarations
 //	allocpin   — every hotpath function needs a testing.AllocsPerRun
 //	             pin in its package's tests
+//	shardsafe  — no coordinator-owned state reachable from shard-phase
+//	             code, and owned-field writes only in phase-annotated
+//	             functions (interprocedural, summary-based)
+//	phaseann   — ownership annotations must be well-formed, unique, on
+//	             production declarations, and closed over the actual
+//	             ShardGroup.Each handler set
+//	sharedrand — shard-phase code draws randomness only from per-node
+//	             derived streams, never a coordinator-shared or global
+//	             one (interprocedural, summary-based)
 //
 // -only and -skip scope a run to a comma-separated subset of analyzers
 // (mutually exclusive; unknown names are usage errors), so CI and local
@@ -72,6 +81,9 @@ import (
 	"github.com/horse-faas/horse/internal/analysis/lockcharge"
 	"github.com/horse-faas/horse/internal/analysis/maporder"
 	"github.com/horse-faas/horse/internal/analysis/metricname"
+	"github.com/horse-faas/horse/internal/analysis/phaseann"
+	"github.com/horse-faas/horse/internal/analysis/shardsafe"
+	"github.com/horse-faas/horse/internal/analysis/sharedrand"
 	"github.com/horse-faas/horse/internal/analysis/simclock"
 )
 
@@ -142,6 +154,9 @@ func analyzers() []*lint.Analyzer {
 		hotpath.Default(),
 		hotanno.Default(),
 		allocpin.Default(),
+		shardsafe.Default(),
+		phaseann.Default(),
+		sharedrand.Default(),
 	}
 }
 

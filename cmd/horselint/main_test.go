@@ -292,6 +292,89 @@ func f(h hv) {
 	}
 }
 
+// TestOnlyOwnershipAnalyzers pins that the three ownership analyzers
+// are addressable by name from -only/-skip like any other analyzer.
+func TestOnlyOwnershipAnalyzers(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "p.go"), `package p
+
+type sim struct {
+	n int //horselint:coordinator
+}
+
+func bump(s *sim) {
+	s.n++
+}
+`)
+	chdir(t, dir)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-only", "shardsafe"}, &out, &errBuf); code != 1 {
+		t.Fatalf("-only shardsafe exit = %d, want 1\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "outside phase-annotated code") {
+		t.Errorf("-only shardsafe should keep the unannotated-write finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-only", "phaseann,sharedrand"}, &out, &errBuf); code != 0 {
+		t.Errorf("-only phaseann,sharedrand exit = %d, want 0 (shardsafe not run)\nstdout: %s", code, out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-skip", "shardsafe"}, &out, &errBuf); code != 0 {
+		t.Errorf("-skip shardsafe exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+}
+
+// TestAllowsGateSharedrand pins that a reasoned allow-sharedrand
+// directive both suppresses the finding and is counted by the
+// suppression-debt gate under its analyzer name.
+func TestAllowsGateSharedrand(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "p.go"), `package p
+
+type Rand struct{}
+
+//horselint:shardphase
+func (r *Rand) Intn(n int) int { return 0 }
+
+type world struct {
+	rng *Rand //horselint:coordinator
+}
+
+//horselint:shardphase
+func draw(w *world) int {
+	return w.rng.Intn(3) //horselint:allow-sharedrand stream is keyed before the first barrier
+}
+`)
+	chdir(t, dir)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-write-allows", "allows.json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-write-allows exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "allows.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var al allowsFile
+	if err := json.Unmarshal(data, &al); err != nil {
+		t.Fatalf("allows baseline is not valid JSON: %v", err)
+	}
+	if al.Allows["sharedrand"] != 1 {
+		t.Fatalf("allows baseline = %+v, want sharedrand count 1", al)
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-allows", "allows.json"}, &out, &errBuf); code != 0 {
+		t.Errorf("-allows at recorded count exit = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+}
+
 // TestAllowsGate pins the suppression-debt gate: recorded counts pass,
 // growth fails with the analyzer named, and paying debt down passes
 // without a baseline edit.

@@ -1,0 +1,317 @@
+package ownership
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/horse-faas/horse/internal/analysis/callgraph"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/summary"
+)
+
+// Entry records how phase reachability first discovered a node: the
+// calling node (nil for a phase root) and the call position, so
+// diagnostics can render the chain from a root to the offending
+// function.
+type Entry struct {
+	From *callgraph.Node
+	Pos  token.Pos
+}
+
+// EachCall is one resolved ShardGroup.Each call: the function making
+// it and the handler function literals passed to it.
+type EachCall struct {
+	Caller   *callgraph.Node
+	Call     *ast.CallExpr
+	Handlers []*callgraph.Node
+}
+
+// Info is the resolved phase/ownership picture of one package set,
+// computed once and shared by the shardsafe, phaseann, and sharedrand
+// analyzers.
+type Info struct {
+	Graph *callgraph.Graph
+	// Sums carries the owned-state may-facts (Reads/Writes/Rands with
+	// witness sites) computed under the owned-field table below.
+	Sums *summary.Set
+	// Owned maps field names to their ownership descriptors, built from
+	// every production //horselint:shardlocal / //horselint:coordinator
+	// field annotation in the set.
+	Owned map[string][]summary.OwnedField
+
+	// Funcs indexes the production function annotations by graph node;
+	// ShardFuncs and CoordFuncs are the well-phased subsets.
+	Funcs      map[*callgraph.Node]FuncAnn
+	ShardFuncs map[*callgraph.Node]bool
+	CoordFuncs map[*callgraph.Node]bool
+
+	// Handlers are the function literals passed to ShardGroup.Each;
+	// EachCalls records each resolved Each call site. Roots lists every
+	// shard-phase root — handlers plus shardphase-annotated functions —
+	// in deterministic graph order.
+	Handlers  map[*callgraph.Node]bool
+	EachCalls []EachCall
+	Roots     []*callgraph.Node
+
+	// ShardReach and CoordReach are the phase closures over precisely
+	// resolved edges (static, method, single-candidate interface, and
+	// closure edges), keyed by reached node.
+	ShardReach map[*callgraph.Node]Entry
+	CoordReach map[*callgraph.Node]Entry
+
+	// Participating marks package paths that carry at least one
+	// ownership annotation: only they opted into the phase contract, so
+	// only their functions can be required to be annotated.
+	Participating map[string]bool
+}
+
+// Of returns the program's ownership info, built once and memoized.
+func Of(prog *lint.Program) *Info {
+	return prog.Cached("ownership", func() any {
+		return build(prog)
+	}).(*Info)
+}
+
+func build(prog *lint.Program) *Info {
+	g := callgraph.Of(prog)
+	info := &Info{
+		Graph:         g,
+		Owned:         map[string][]summary.OwnedField{},
+		Funcs:         map[*callgraph.Node]FuncAnn{},
+		ShardFuncs:    map[*callgraph.Node]bool{},
+		CoordFuncs:    map[*callgraph.Node]bool{},
+		Handlers:      map[*callgraph.Node]bool{},
+		Participating: map[string]bool{},
+	}
+
+	// Resolve the annotation vocabulary from production files. Test
+	// files never contribute: phaseann reports annotations there.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, ann := range FuncAnns(f) {
+				info.Participating[pkg.Path] = true
+				n := g.NodeOf(ann.Func)
+				if n == nil {
+					continue
+				}
+				info.Funcs[n] = ann
+				if ann.ShardPhase > 0 {
+					info.ShardFuncs[n] = true
+				}
+				if ann.Coordinator > 0 {
+					info.CoordFuncs[n] = true
+				}
+			}
+			for _, ann := range FieldAnns(f) {
+				info.Participating[pkg.Path] = true
+				if ann.ShardLocal+ann.Coordinator == 0 {
+					continue // a lone shardphase on a field is phaseann's to flag
+				}
+				for _, name := range ann.Names {
+					info.Owned[name] = append(info.Owned[name], summary.OwnedField{
+						Key:      ann.TypeName + "." + name,
+						Pkg:      pkg.Path,
+						Field:    name,
+						Coord:    ann.Coordinator > 0,
+						Stream:   StreamType(ann.Field.Type),
+						Exported: ast.IsExported(name),
+					})
+				}
+			}
+		}
+	}
+
+	// Find the ShardGroup.Each calls and their handler literals.
+	for _, n := range g.Order {
+		body := n.Body()
+		if body == nil || n.File.Test {
+			continue
+		}
+		walkShallow(body, func(x ast.Node) {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !isEachCall(g, call) {
+				return
+			}
+			ec := EachCall{Caller: n, Call: call}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if h := g.NodeOf(lit); h != nil {
+					ec.Handlers = append(ec.Handlers, h)
+					info.Handlers[h] = true
+				}
+			}
+			info.EachCalls = append(info.EachCalls, ec)
+		})
+	}
+
+	// Shard roots in deterministic graph order: handlers first-class,
+	// plus every shardphase-annotated function.
+	for _, n := range g.Order {
+		if info.Handlers[n] || info.ShardFuncs[n] {
+			info.Roots = append(info.Roots, n)
+		}
+	}
+
+	var coordRoots []*callgraph.Node
+	for _, n := range g.Order {
+		if info.CoordFuncs[n] {
+			coordRoots = append(coordRoots, n)
+		}
+	}
+	info.ShardReach = reach(info.Roots)
+	info.CoordReach = reach(coordRoots)
+
+	info.Sums = summary.Compute(prog, summary.Config{
+		AllowAnalyzer: "hotpath",
+		Owned:         info.Owned,
+		OwnAllow:      "shardsafe",
+		RandAllow:     "sharedrand",
+	})
+	return info
+}
+
+// walkShallow visits a function body without descending into nested
+// function literals (they are their own graph nodes).
+func walkShallow(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}
+
+// isEachCall reports whether a call resolves to ShardGroup.Each.
+func isEachCall(g *callgraph.Graph, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Each" {
+		return false
+	}
+	for _, e := range g.EdgesAt(call) {
+		if e.Callee != nil && e.Callee.Name == "Each" && e.Callee.Recv == "ShardGroup" {
+			return true
+		}
+		if e.Kind == callgraph.External && strings.HasSuffix(e.Target, "(ShardGroup).Each") {
+			return true
+		}
+	}
+	return false
+}
+
+// reach computes the phase closure from the given roots over precisely
+// resolved edges: static and method calls, interface calls with exactly
+// one non-test candidate, and closure edges (a literal defined in a
+// phase runs in it unless handed across a barrier, which only happens
+// through dynamic dispatch the walk never follows). Test-file callees
+// are skipped — test helpers cannot drag production code into a phase.
+func reach(roots []*callgraph.Node) map[*callgraph.Node]Entry {
+	seen := make(map[*callgraph.Node]Entry, len(roots))
+	queue := make([]*callgraph.Node, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = Entry{}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		ifaceFan := map[token.Pos]int{}
+		for _, e := range n.Out {
+			if e.Kind == callgraph.Iface && e.Callee != nil && !e.Callee.File.Test {
+				ifaceFan[e.Pos]++
+			}
+		}
+		for _, e := range n.Out {
+			if e.Callee == nil || e.Callee.File.Test {
+				continue
+			}
+			switch e.Kind {
+			case callgraph.Static, callgraph.Method, callgraph.Closure:
+			case callgraph.Iface:
+				if ifaceFan[e.Pos] != 1 {
+					continue
+				}
+			default:
+				continue
+			}
+			if _, ok := seen[e.Callee]; ok {
+				continue
+			}
+			seen[e.Callee] = Entry{From: n, Pos: e.Pos}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return seen
+}
+
+// Chain renders the discovery path from a phase root to n, e.g.
+// "pkg.Run -> pkg.serve -> pkg.tally".
+func Chain(reached map[*callgraph.Node]Entry, n *callgraph.Node) string {
+	ids := []string{n.ID}
+	for {
+		e, ok := reached[n]
+		if !ok || e.From == nil {
+			break
+		}
+		n = e.From
+		ids = append(ids, n.ID)
+	}
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return strings.Join(ids, " -> ")
+}
+
+// Annotated reports whether a node is phase-annotated code: a handler
+// literal, an annotated function, or a literal nested (at any depth)
+// inside one.
+func (i *Info) Annotated(n *callgraph.Node) bool {
+	for n != nil {
+		if i.Handlers[n] {
+			return true
+		}
+		if ann, ok := i.Funcs[n]; ok && ann.ShardPhase+ann.Coordinator > 0 {
+			return true
+		}
+		n = i.parent(n)
+	}
+	return false
+}
+
+// CoordContext reports whether a node is coordinator-annotated code,
+// walking literals up to their enclosing declaration. A handler
+// literal is shard-phase by construction, whatever encloses it.
+func (i *Info) CoordContext(n *callgraph.Node) bool {
+	for n != nil {
+		if i.Handlers[n] {
+			return false
+		}
+		if ann, ok := i.Funcs[n]; ok {
+			return ann.Coordinator > 0
+		}
+		n = i.parent(n)
+	}
+	return false
+}
+
+// parent resolves the enclosing function of a literal node ("id$N") by
+// its ID, nil for declarations.
+func (i *Info) parent(n *callgraph.Node) *callgraph.Node {
+	idx := strings.LastIndex(n.ID, "$")
+	if idx < 0 {
+		return nil
+	}
+	return i.Graph.Nodes[n.ID[:idx]]
+}

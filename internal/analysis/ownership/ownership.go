@@ -1,0 +1,302 @@
+// Package ownership implements the annotation vocabulary and the
+// whole-program phase/ownership analysis behind the shardsafe,
+// phaseann, and sharedrand analyzers (DESIGN.md §9, §13).
+//
+// The conservative-PDES cluster run alternates two phases. Between
+// barriers the coordinator runs alone: it pumps arrivals, routes them,
+// retries failures, and folds outcomes into the report. During a serve
+// barrier a ShardGroup of worker goroutines drains the node-local
+// engines in parallel, and the only state a shard may touch is state
+// owned by its own nodes. Three directives make that contract explicit:
+//
+//	//horselint:shardphase   on a function: may run inside a serve
+//	                         barrier (an Each handler or anything it
+//	                         calls). Callable from either phase.
+//	//horselint:coordinator  on a function: must only run between
+//	                         barriers — never reachable from a shard.
+//	                         On a struct field (or a whole struct type):
+//	                         the field is coordinator-owned state.
+//	//horselint:shardlocal   on a struct field (or a whole struct
+//	                         type): the field is owned by a node shard.
+//
+// The ownership analysis resolves the directives into an owned-field
+// table for the summary fixpoint (which computes transitive
+// reads/writes/stream-use facts with witness sites) and into shard- and
+// coordinator-phase reachability over the call graph (which closes the
+// annotation set over the actual ShardGroup.Each handler set). Like the
+// rest of the analysis layer it is syntax-only and name-based, erring
+// conservative: an unexported owned field shadows every same-named
+// field in its package, and reachability follows only precisely
+// resolved edges.
+package ownership
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/horse-faas/horse/internal/analysis/lint"
+)
+
+// The three ownership directives.
+const (
+	DirShardPhase  = "//horselint:shardphase"
+	DirCoordinator = "//horselint:coordinator"
+	DirShardLocal  = "//horselint:shardlocal"
+)
+
+// FuncAnn is one function declaration carrying ownership directives in
+// its doc comment. The counts let phaseann flag duplicates and
+// conflicts; exactly one of ShardPhase/Coordinator should be 1 and the
+// rest 0 on a well-formed annotation (ShardLocal never belongs on a
+// function).
+type FuncAnn struct {
+	Func *ast.FuncDecl
+	File *lint.File
+
+	ShardPhase  int
+	Coordinator int
+	ShardLocal  int
+}
+
+// DisplayName renders the function's diagnostic name ("(Recv).Name" for
+// methods).
+func (a FuncAnn) DisplayName() string {
+	if a.Func.Recv != nil && len(a.Func.Recv.List) > 0 {
+		if name := recvName(a.Func.Recv.List[0].Type); name != "" {
+			return "(" + name + ")." + a.Func.Name.Name
+		}
+	}
+	return a.Func.Name.Name
+}
+
+// FieldAnn is one struct field covered by ownership directives, either
+// directly (field doc or trailing comment) or inherited from a
+// directive on the enclosing type declaration, in which case FromType
+// is set and every field of the struct gets one FieldAnn.
+type FieldAnn struct {
+	File     *lint.File
+	TypeName string
+	Field    *ast.Field
+	// Names are the field names the declaration covers (the embedded
+	// type's base name for embedded fields).
+	Names []string
+
+	ShardLocal  int
+	Coordinator int
+	ShardPhase  int
+	FromType    bool
+}
+
+// Key renders the diagnostic identity of the annotated field.
+func (a FieldAnn) Key() string {
+	return a.TypeName + "." + strings.Join(a.Names, ",")
+}
+
+func recvName(t ast.Expr) string {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isDirective reports whether a comment line is the given directive.
+func isDirective(text, dir string) bool {
+	return strings.TrimRight(text, " \t") == dir
+}
+
+// dirCounts tallies the three directives in a comment group.
+func dirCounts(cg *ast.CommentGroup) (shardPhase, coordinator, shardLocal int) {
+	if cg == nil {
+		return
+	}
+	for _, c := range cg.List {
+		switch {
+		case isDirective(c.Text, DirShardPhase):
+			shardPhase++
+		case isDirective(c.Text, DirCoordinator):
+			coordinator++
+		case isDirective(c.Text, DirShardLocal):
+			shardLocal++
+		}
+	}
+	return
+}
+
+// FuncAnns returns the file's function declarations carrying ownership
+// directives.
+func FuncAnns(f *lint.File) []FuncAnn {
+	var out []FuncAnn
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		sp, co, sl := dirCounts(fd.Doc)
+		if sp+co+sl > 0 {
+			out = append(out, FuncAnn{Func: fd, File: f, ShardPhase: sp, Coordinator: co, ShardLocal: sl})
+		}
+	}
+	return out
+}
+
+// FieldAnns returns the file's annotated struct fields. A directive on
+// the type declaration (GenDecl doc, TypeSpec doc, or TypeSpec trailing
+// comment) covers every field of the struct; a directive on a field's
+// doc or trailing comment covers that field declaration.
+func FieldAnns(f *lint.File) []FieldAnn {
+	var out []FieldAnn
+	for _, decl := range f.AST.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			tsp, tco, tsl := dirCounts(gd.Doc)
+			sp2, co2, sl2 := dirCounts(ts.Doc)
+			sp3, co3, sl3 := dirCounts(ts.Comment)
+			tsp, tco, tsl = tsp+sp2+sp3, tco+co2+co3, tsl+sl2+sl3
+			for _, field := range st.Fields.List {
+				fsp, fco, fsl := dirCounts(field.Doc)
+				csp, cco, csl := dirCounts(field.Comment)
+				fsp, fco, fsl = fsp+csp, fco+cco, fsl+csl
+				if tsp+tco+tsl+fsp+fco+fsl == 0 {
+					continue
+				}
+				out = append(out, FieldAnn{
+					File:        f,
+					TypeName:    ts.Name.Name,
+					Field:       field,
+					Names:       fieldNames(field),
+					ShardPhase:  tsp + fsp,
+					Coordinator: tco + fco,
+					ShardLocal:  tsl + fsl,
+					FromType:    fsp+fco+fsl == 0,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// fieldNames lists the names a field declaration introduces (the
+// embedded type's base name for embedded fields).
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, id := range field.Names {
+			names[i] = id.Name
+		}
+		return names
+	}
+	if name := recvName(stripEllipsis(field.Type)); name != "" {
+		return []string{name}
+	}
+	return nil
+}
+
+func stripEllipsis(e ast.Expr) ast.Expr {
+	if el, ok := e.(*ast.Ellipsis); ok {
+		return el.Elt
+	}
+	return e
+}
+
+// Strays returns ownership directive comments attached to nothing the
+// vocabulary covers: not a function's doc, not a struct type's doc or
+// trailing comment, not a field's doc or trailing comment.
+func Strays(f *lint.File) []*ast.Comment {
+	attached := map[*ast.Comment]bool{}
+	mark := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			attached[c] = true
+		}
+	}
+	for _, decl := range f.AST.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			mark(d.Doc)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			mark(d.Doc)
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				mark(ts.Doc)
+				mark(ts.Comment)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mark(field.Doc)
+					mark(field.Comment)
+				}
+			}
+		}
+	}
+	var out []*ast.Comment
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !attached[c] && (isDirective(c.Text, DirShardPhase) || isDirective(c.Text, DirCoordinator) || isDirective(c.Text, DirShardLocal)) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// streamTypeNames are the type names whose fields hold a PRNG or fault
+// stream: touching one from shard code without re-keying it through
+// Derive shares the coordinator's stream across shards.
+var streamTypeNames = map[string]bool{
+	"Injector": true,
+	"Rand":     true,
+	"Source":   true,
+	"PCG":      true,
+	"ChaCha8":  true,
+}
+
+// StreamType reports whether a field type expression names a PRNG or
+// fault-stream type.
+func StreamType(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return streamTypeNames[x.Sel.Name]
+		case *ast.Ident:
+			return streamTypeNames[x.Name]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package phaseann implements the horselint analyzer that keeps the
+// ownership annotation vocabulary itself honest (DESIGN.md §9): the
+// //horselint:shardphase, //horselint:coordinator, and
+// //horselint:shardlocal directives must be well-formed, unique,
+// attached to production declarations, and — the load-bearing part —
+// closed over the actual ShardGroup.Each handler set. A function that
+// shard-phase reachability discovers without an annotation is an
+// error, not a silent merge: the author must decide which phase it
+// belongs to. The analyzer also pins the barrier discipline (only a
+// coordinator function may call Each, and every handler must be a
+// function literal so the root set stays closed) and rejects
+// same-named fields with conflicting ownership, which the name-based
+// matcher could not tell apart.
+package phaseann
+
+import (
+	"go/ast"
+
+	"github.com/horse-faas/horse/internal/analysis/callgraph"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/ownership"
+)
+
+// New returns the phaseann analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "phaseann",
+		Doc: "ownership annotations must be well-formed, unique, on production declarations, " +
+			"and closed over the ShardGroup.Each handler set: an unannotated function reachable " +
+			"from the shard phase (or both phases) is an error, Each may only be called by a " +
+			"//horselint:coordinator function, and same-named fields cannot disagree on ownership",
+		Run: run,
+	}
+}
+
+// Default returns the analyzer as wired into cmd/horselint.
+func Default() *lint.Analyzer { return New() }
+
+func displayName(n *callgraph.Node) string {
+	if n.Recv != "" {
+		return "(" + n.Recv + ")." + n.Name
+	}
+	return n.Name
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Program == nil {
+		return nil
+	}
+	info := ownership.Of(pass.Program)
+
+	type owner struct {
+		key   string
+		coord bool
+	}
+	firstOwner := map[string]owner{}
+
+	for _, f := range pass.Pkg.Files {
+		for _, c := range ownership.Strays(f) {
+			pass.Reportf(c.Pos(), "ownership directive annotates nothing: attach it to a function's doc comment, a struct field, or a struct type declaration")
+		}
+		for _, ann := range ownership.FuncAnns(f) {
+			if f.Test {
+				pass.Reportf(ann.Func.Pos(), "ownership annotation on %s: annotations belong on production declarations, not test files", ann.DisplayName())
+				continue
+			}
+			if ann.ShardLocal > 0 {
+				pass.Reportf(ann.Func.Pos(), "%s: shardlocal annotates state, not functions; use //horselint:shardphase or //horselint:coordinator", ann.DisplayName())
+			}
+			if ann.ShardPhase > 0 && ann.Coordinator > 0 {
+				pass.Reportf(ann.Func.Pos(), "%s is annotated both //horselint:shardphase and //horselint:coordinator: a function belongs to one phase", ann.DisplayName())
+			}
+			if ann.ShardPhase > 1 || ann.Coordinator > 1 || ann.ShardLocal > 1 {
+				pass.Reportf(ann.Func.Pos(), "%s: duplicated ownership directive", ann.DisplayName())
+			}
+		}
+		for _, ann := range ownership.FieldAnns(f) {
+			if f.Test {
+				pass.Reportf(ann.Field.Pos(), "ownership annotation on field %s: annotations belong on production declarations, not test files", ann.Key())
+				continue
+			}
+			if ann.ShardPhase > 0 {
+				pass.Reportf(ann.Field.Pos(), "field %s: shardphase annotates functions, not state; use //horselint:shardlocal or //horselint:coordinator", ann.Key())
+			}
+			if ann.ShardLocal > 0 && ann.Coordinator > 0 {
+				pass.Reportf(ann.Field.Pos(), "field %s is annotated both //horselint:shardlocal and //horselint:coordinator: state has one owner", ann.Key())
+			}
+			if !ann.FromType && (ann.ShardLocal > 1 || ann.Coordinator > 1 || ann.ShardPhase > 1) {
+				pass.Reportf(ann.Field.Pos(), "field %s: duplicated ownership directive", ann.Key())
+			}
+			if ann.ShardLocal+ann.Coordinator == 0 {
+				continue
+			}
+			// Name-based matching cannot tell same-named fields apart, so
+			// they must agree on ownership within the package.
+			coord := ann.Coordinator > 0
+			for _, name := range ann.Names {
+				prev, ok := firstOwner[name]
+				if !ok {
+					firstOwner[name] = owner{key: ann.Key(), coord: coord}
+					continue
+				}
+				if prev.coord != coord {
+					pass.Reportf(ann.Field.Pos(), "field name %q has conflicting ownership: %s disagrees with %s, and name-based matching cannot tell them apart",
+						name, ann.TypeName+"."+name, prev.key)
+				}
+			}
+		}
+	}
+
+	// Closure over the handler set: every production function the shard
+	// phase reaches in a participating package must say which phase it
+	// belongs to.
+	for _, n := range info.Graph.Order {
+		if n.Pkg != pass.Pkg || n.File.Test || !info.Participating[n.Pkg.Path] {
+			continue
+		}
+		fd, ok := n.Decl.(*ast.FuncDecl)
+		if !ok {
+			continue // literals inherit their parent's phase
+		}
+		if _, annotated := info.Funcs[n]; annotated {
+			continue
+		}
+		e, ok := info.ShardReach[n]
+		if !ok || e.From == nil {
+			continue
+		}
+		if _, both := info.CoordReach[n]; both {
+			pass.Reportf(fd.Pos(), "%s is reachable from both the shard phase and the coordinator phase but carries no annotation; decide its phase (//horselint:shardphase or //horselint:coordinator) instead of merging them silently: %s",
+				displayName(n), ownership.Chain(info.ShardReach, n))
+		} else {
+			pass.Reportf(fd.Pos(), "%s is reachable from the shard phase but not annotated //horselint:shardphase: %s",
+				displayName(n), ownership.Chain(info.ShardReach, n))
+		}
+	}
+
+	// Barrier discipline: only the coordinator erects a serve barrier,
+	// and the handler set must be syntactically closed.
+	for _, ec := range info.EachCalls {
+		if ec.Caller.Pkg != pass.Pkg {
+			continue
+		}
+		if !info.CoordContext(ec.Caller) {
+			pass.Reportf(ec.Call.Pos(), "ShardGroup.Each erects a serve barrier; only a //horselint:coordinator function may call it (caller %s)", displayName(ec.Caller))
+		}
+		if len(ec.Handlers) != len(ec.Call.Args) {
+			pass.Reportf(ec.Call.Pos(), "ShardGroup.Each handler must be a function literal so the shard-phase root set stays closed")
+		}
+	}
+	return nil
+}

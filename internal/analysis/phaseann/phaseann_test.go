@@ -1,0 +1,37 @@
+package phaseann_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/analysis/analysistest"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/phaseann"
+)
+
+func TestPhaseann(t *testing.T) {
+	analysistest.Run(t, "testdata", phaseann.Default(), "./anno")
+}
+
+// TestStrays asserts directly: the diagnostics land on the directive
+// comment lines, where want expectations cannot be written.
+func TestStrays(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := lint.LoadAsModule(fset, "testdata", "", "./stray")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(fset, pkgs, []*lint.Analyzer{phaseann.Default()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 strays: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "ownership directive annotates nothing") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

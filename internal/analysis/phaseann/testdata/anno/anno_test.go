@@ -1,0 +1,9 @@
+package anno
+
+//horselint:shardphase
+func testOnlyHelper() {} // want `ownership annotation on testOnlyHelper: annotations belong on production declarations, not test files`
+
+type testState struct {
+	//horselint:coordinator
+	n int // want `ownership annotation on field testState\.n: annotations belong on production declarations, not test files`
+}

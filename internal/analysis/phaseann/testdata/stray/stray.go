@@ -1,0 +1,16 @@
+// Package stray holds ownership directives attached to nothing the
+// vocabulary covers; the diagnostics land on the comment lines, so the
+// test asserts them directly instead of with want expectations.
+package stray
+
+//horselint:coordinator
+
+var counter int
+
+// doc prose around a directive on a var block annotates nothing.
+var (
+	//horselint:shardlocal
+	buf []byte
+)
+
+func fine() { counter++; _ = buf }

@@ -1,0 +1,63 @@
+// Package sharedrand implements the horselint analyzer that keeps
+// randomness shard-deterministic: every PRNG or fault stream a
+// shard-phase function can reach must flow from Injector.Derive (or a
+// per-node seed mix), never from the coordinator's shared stream or
+// the process-global math/rand stream. It generalizes the detrand
+// analyzer interprocedurally: detrand bans global draws site-by-site
+// in simulation packages; sharedrand follows the call graph from every
+// ShardGroup.Each handler and //horselint:shardphase function and
+// reports any path to a coordinator-shared stream, with witness sites
+// the way hotpath names allocations.
+//
+// A stream field counts as coordinator-shared when its ownership
+// annotation says //horselint:coordinator and its type names a stream
+// (Injector, Rand, Source, PCG, ChaCha8). Re-keying through .Derive on
+// the field is the sanctioned consumption and is exempt; a reasoned
+// //horselint:allow-sharedrand directive vouches for anything else and
+// is excluded from caller-visible facts, gated by the allows budget.
+package sharedrand
+
+import (
+	"github.com/horse-faas/horse/internal/analysis/callgraph"
+	"github.com/horse-faas/horse/internal/analysis/lint"
+	"github.com/horse-faas/horse/internal/analysis/ownership"
+)
+
+// New returns the sharedrand analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "sharedrand",
+		Doc: "shard-phase code must draw randomness only from per-node derived streams: no " +
+			"coordinator-owned Injector/Rand stream and no process-global math/rand draw may be " +
+			"reachable from a ShardGroup.Each handler or //horselint:shardphase function",
+		Run: run,
+	}
+}
+
+// Default returns the analyzer as wired into cmd/horselint.
+func Default() *lint.Analyzer { return New() }
+
+func displayName(n *callgraph.Node) string {
+	if n.Recv != "" {
+		return "(" + n.Recv + ")." + n.Name
+	}
+	return n.Name
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Program == nil {
+		return nil
+	}
+	info := ownership.Of(pass.Program)
+	for _, n := range info.Roots {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		facts := info.Sums.Facts(n)
+		name := displayName(n)
+		for _, site := range facts.Rands {
+			pass.Reportf(site.Pos, "shard-phase function %s: %s", name, site.What)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package summary
+
+// Owned-state facts: which functions may (transitively) read or write
+// coordinator-owned fields, and which may touch a coordinator-shared
+// PRNG or fault stream. They are the interprocedural fuel for the
+// shardsafe and sharedrand analyzers the way Allocates fuels hotpath
+// (DESIGN.md §9). The facts only populate when Config.Owned is set; the
+// default summary (Of) computes none and pays nothing.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"github.com/horse-faas/horse/internal/analysis/callgraph"
+)
+
+// OwnedField describes one struct field covered by an ownership
+// directive (//horselint:coordinator or //horselint:shardlocal on the
+// field, or on its enclosing type for every field). Matching is
+// name-based like the rest of the syntax-only analysis layer: a
+// selector access x.f matches when f's name matches — from any package
+// for exported fields, only from the declaring package otherwise.
+type OwnedField struct {
+	// Key is the display identity, "Type.Field".
+	Key string
+	// Pkg is the declaring package path; unexported fields match only
+	// accesses inside it.
+	Pkg string
+	// Field is the bare field name.
+	Field string
+	// Coord marks coordinator-owned state (otherwise shard-local).
+	Coord bool
+	// Stream marks PRNG/fault-stream typed fields, whose accesses feed
+	// Rands instead of Reads/Writes.
+	Stream bool
+	// Exported widens matching to every package in the set.
+	Exported bool
+}
+
+// OwnedWrite is one direct (intraprocedural) write to an owned field —
+// coordinator or shard-local — for shardsafe's rule that every such
+// write must live in phase-annotated code. Unlike Reads/Writes these
+// deliberately do not propagate through the call graph: the rule is
+// about where the write itself lives, not who calls it.
+type OwnedWrite struct {
+	Key   string
+	Coord bool
+	Pos   token.Pos
+}
+
+// randPackages and randDraws mirror the detrand analyzer's vocabulary:
+// package-level calls on math/rand that advance the process-global
+// stream. A shard drawing from it would interleave with every other
+// shard nondeterministically.
+var randPackages = []string{"math/rand", "math/rand/v2"}
+
+var randDraws = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+// ownAllowed reports whether an allow-<Config.OwnAllow> directive covers
+// pos; randAllowed the same for Config.RandAllow. An allowed direct
+// access is excluded from the facts entirely, so it cannot poison the
+// verdict of transitive callers.
+func (d *direct) ownAllowed(pos token.Pos) bool {
+	if d.cfg.OwnAllow == "" {
+		return false
+	}
+	return d.prog.Allowed(d.cfg.OwnAllow, d.prog.Fset.Position(pos))
+}
+
+func (d *direct) randAllowed(pos token.Pos) bool {
+	if d.cfg.RandAllow == "" {
+		return false
+	}
+	return d.prog.Allowed(d.cfg.RandAllow, d.prog.Fset.Position(pos))
+}
+
+// ownedFacts walks one function body for owned-field accesses and
+// global rand draws, filling f.Reads/Writes/Rands/OwnedWrites. The walk
+// is shallow like compute's: nested function literals are their own
+// graph nodes and their facts flow back through closure edges.
+func (d *direct) ownedFacts(n *callgraph.Node, f *Facts) {
+	if len(d.cfg.Owned) == 0 {
+		return
+	}
+	body := n.Body()
+	if body == nil {
+		return
+	}
+
+	// First pass: classify expressions. A selector is a write target when
+	// it is assigned, inc/dec'd, address-taken, sliced/indexed on the
+	// left of an assignment, or a range assignment target. Call-Fun
+	// selectors are method calls (the call graph owns those); receivers
+	// of .Derive(...) calls are re-keying a stream, which is exactly the
+	// legitimate way to consume one.
+	writes := map[ast.Expr]bool{}
+	funs := map[ast.Expr]bool{}
+	derived := map[ast.Expr]bool{}
+	shallow(body, func(x ast.Node) {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				markWrite(writes, lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(writes, v.X)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				markWrite(writes, v.X)
+			}
+		case *ast.RangeStmt:
+			if v.Key != nil {
+				markWrite(writes, v.Key)
+			}
+			if v.Value != nil {
+				markWrite(writes, v.Value)
+			}
+		case *ast.CallExpr:
+			funs[v.Fun] = true
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Derive" {
+				derived[sel.X] = true
+			}
+		}
+	})
+
+	randImports := map[string]bool{}
+	for _, name := range n.File.ImportedAs(randPackages...) {
+		randImports[name] = true
+	}
+
+	// Second pass: record the accesses.
+	shallow(body, func(x ast.Node) {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			if funs[v] {
+				return
+			}
+			of, ok := d.matchOwned(n, v.Sel.Name)
+			if !ok {
+				return
+			}
+			isWrite := writes[v]
+			if isWrite {
+				f.OwnedWrites = append(f.OwnedWrites, OwnedWrite{Key: of.Key, Coord: of.Coord, Pos: v.Pos()})
+			}
+			if !of.Coord {
+				return
+			}
+			// Coordinator-owned streams are sharedrand's business, not
+			// shardsafe's; shard-local streams (per-node derived) are
+			// plain shard state.
+			if of.Stream {
+				if derived[v] || d.randAllowed(v.Pos()) {
+					return
+				}
+				f.UsesRand = true
+				f.Rands = append(f.Rands, Site{Pos: v.Pos(), What: fmt.Sprintf("uses coordinator-shared stream %s (derive a per-node stream instead)", of.Key)})
+				if f.randWhy == "" {
+					f.randWhy = f.Rands[len(f.Rands)-1].What
+				}
+				return
+			}
+			if d.ownAllowed(v.Pos()) {
+				return
+			}
+			if isWrite {
+				f.WritesCoord = true
+				f.Writes = append(f.Writes, Site{Pos: v.Pos(), What: "writes coordinator-owned field " + of.Key})
+				if f.writeWhy == "" {
+					f.writeWhy = f.Writes[len(f.Writes)-1].What
+				}
+			} else {
+				f.ReadsCoord = true
+				f.Reads = append(f.Reads, Site{Pos: v.Pos(), What: "reads coordinator-owned field " + of.Key})
+				if f.readWhy == "" {
+					f.readWhy = f.Reads[len(f.Reads)-1].What
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !randImports[id.Name] || !randDraws[sel.Sel.Name] {
+				return
+			}
+			if d.randAllowed(v.Pos()) {
+				return
+			}
+			f.UsesRand = true
+			f.Rands = append(f.Rands, Site{Pos: v.Pos(), What: fmt.Sprintf("draws from the process-global %s.%s stream", id.Name, sel.Sel.Name)})
+			if f.randWhy == "" {
+				f.randWhy = f.Rands[len(f.Rands)-1].What
+			}
+		}
+	})
+	sortSites(f.Reads)
+	sortSites(f.Writes)
+	sortSites(f.Rands)
+}
+
+// matchOwned resolves a selector name against the owned-field table for
+// an access made from n's package. When several annotated fields share
+// the name, the merge is conservative: coordinator ownership and stream
+// taint win, and the first candidate's key names the witness.
+func (d *direct) matchOwned(n *callgraph.Node, name string) (OwnedField, bool) {
+	var out OwnedField
+	found := false
+	for _, of := range d.cfg.Owned[name] {
+		if !of.Exported && of.Pkg != n.Pkg.Path {
+			continue
+		}
+		if !found {
+			out = of
+			found = true
+			continue
+		}
+		out.Coord = out.Coord || of.Coord
+		out.Stream = out.Stream || of.Stream
+	}
+	return out, found
+}
+
+// markWrite unwraps an assignment target down to the selector being
+// written through — c.ring[i], (*c.ptr), c.buf[lo:hi] all write via the
+// named field — and marks it.
+func markWrite(writes map[ast.Expr]bool, e ast.Expr) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			writes[v] = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+// shallow visits body without descending into nested function literals.
+func shallow(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}

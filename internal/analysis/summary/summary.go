@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 
 	"github.com/horse-faas/horse/internal/analysis/callgraph"
@@ -60,8 +61,28 @@ type Facts struct {
 	// configured seed calls.
 	ReturnsSeedErr bool
 
+	// ReadsCoord and WritesCoord report a read / write of a
+	// coordinator-owned field on some path (transitive); Reads and
+	// Writes list the witness sites inside this function's own body in
+	// source order. UsesRand and Rands do the same for coordinator-shared
+	// PRNG and fault streams: stream-typed owned fields touched without
+	// a Derive re-key, and process-global math/rand draws. OwnedWrites
+	// lists direct writes to any owned field (they do not propagate).
+	// All of these populate only when Config.Owned is set.
+	ReadsCoord  bool
+	Reads       []Site
+	WritesCoord bool
+	Writes      []Site
+	UsesRand    bool
+	Rands       []Site
+	OwnedWrites []OwnedWrite
+
 	hasErrorResult bool
 	directSeed     bool
+
+	readWhy  string
+	writeWhy string
+	randWhy  string
 }
 
 // Config parameterizes a summary computation.
@@ -73,11 +94,43 @@ type Config struct {
 	// comments exclude an allocation site from the facts. Empty
 	// disables the exclusion.
 	AllowAnalyzer string
+
+	// Owned maps field names to the ownership-annotated fields bearing
+	// them; when set, the Reads/Writes/Rands facts are computed. OwnAllow
+	// and RandAllow are the directive names whose //horselint:allow-*
+	// comments exclude a coordinator-state access or a stream access
+	// from the facts (empty disables each exclusion).
+	Owned     map[string][]OwnedField
+	OwnAllow  string
+	RandAllow string
 }
 
-// key returns a stable cache key for the configuration.
+// key returns a stable cache key for the configuration. The owned-field
+// table is folded in sorted by name so equal configurations share one
+// computation regardless of map construction order.
 func (c Config) key() string {
-	return "summary:" + c.AllowAnalyzer + ":" + strings.Join(c.ErrorSeeds, ",")
+	var b strings.Builder
+	b.WriteString("summary:")
+	b.WriteString(c.AllowAnalyzer)
+	b.WriteString(":")
+	b.WriteString(strings.Join(c.ErrorSeeds, ","))
+	if len(c.Owned) > 0 || c.OwnAllow != "" || c.RandAllow != "" {
+		b.WriteString(":own:")
+		b.WriteString(c.OwnAllow)
+		b.WriteString(":")
+		b.WriteString(c.RandAllow)
+		names := make([]string, 0, len(c.Owned))
+		for name := range c.Owned {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, of := range c.Owned[name] {
+				fmt.Fprintf(&b, ";%s=%s@%s/%t%t%t", name, of.Key, of.Pkg, of.Coord, of.Stream, of.Exported)
+			}
+		}
+	}
+	return b.String()
 }
 
 // Set holds the computed facts of one package set.
@@ -161,6 +214,36 @@ func build(prog *lint.Program, cfg Config) *Set {
 	d := &direct{prog: prog, cfg: cfg, seeds: seeds}
 	for _, n := range g.Order {
 		s.facts[n] = d.compute(n)
+		d.ownedFacts(n, s.facts[n])
+	}
+
+	// Owned-state facts flow only through precise edges (static, typed
+	// method, closure) and interface fan-outs with exactly one candidate.
+	// A multi-candidate fan-out is name-based dispatch across the whole
+	// program — propagating through it would taint every caller of a
+	// common method name (any Len, any Reset) with whichever candidate
+	// touches coordinator state. Dynamic dispatch is instead covered by
+	// the annotation vocabulary itself: implementations carry their own
+	// phase annotations, and shard roots (Each handlers, shardphase
+	// functions) are declared, not inferred. This mirrors the ownership
+	// package's reachability rule, so both layers draw the same frontier.
+	var fan map[*callgraph.Node]map[token.Pos]int
+	if len(cfg.Owned) > 0 {
+		fan = make(map[*callgraph.Node]map[token.Pos]int, len(g.Order))
+		for _, n := range g.Order {
+			for _, e := range n.Out {
+				if e.Kind != callgraph.Iface {
+					continue
+				}
+				if fan[n] == nil {
+					fan[n] = make(map[token.Pos]int)
+				}
+				fan[n][e.Pos]++
+			}
+		}
+	}
+	ownedEdge := func(n *callgraph.Node, e callgraph.Edge) bool {
+		return e.Kind != callgraph.Iface || fan[n][e.Pos] == 1
 	}
 
 	// Bottom-up boolean fixpoint: SCCs arrive callees-first, so one
@@ -192,6 +275,24 @@ func build(prog *lint.Program, cfg Config) *Set {
 					}
 					if cf.ReturnsSeedErr && f.hasErrorResult && !f.ReturnsSeedErr {
 						f.ReturnsSeedErr = true
+						changed = true
+					}
+					if !ownedEdge(n, e) {
+						continue
+					}
+					if cf.ReadsCoord && !f.ReadsCoord {
+						f.ReadsCoord = true
+						f.readWhy = calleeFactWhy(e.Callee.ID, cf.readWhy)
+						changed = true
+					}
+					if cf.WritesCoord && !f.WritesCoord {
+						f.WritesCoord = true
+						f.writeWhy = calleeFactWhy(e.Callee.ID, cf.writeWhy)
+						changed = true
+					}
+					if cf.UsesRand && !f.UsesRand {
+						f.UsesRand = true
+						f.randWhy = calleeFactWhy(e.Callee.ID, cf.randWhy)
 						changed = true
 					}
 				}
@@ -229,7 +330,52 @@ func build(prog *lint.Program, cfg Config) *Set {
 		}
 		sortSites(f.Allocs)
 	}
+
+	// Same extension for the owned-state facts: each call to a callee
+	// that may touch coordinator state or a shared stream becomes a
+	// witness site at the call, unless a reasoned allow covers the line.
+	if len(cfg.Owned) > 0 {
+		for _, n := range g.Order {
+			f := s.facts[n]
+			for _, e := range n.Out {
+				if e.Callee == nil || !e.Pos.IsValid() || !ownedEdge(n, e) {
+					continue
+				}
+				cf := s.facts[e.Callee]
+				if cf.ReadsCoord && !(cfg.OwnAllow != "" && prog.Allowed(cfg.OwnAllow, prog.Fset.Position(e.Pos))) {
+					f.Reads = append(f.Reads, Site{
+						Pos:  e.Pos,
+						What: fmt.Sprintf("call to %s may read coordinator-owned state (%s)", e.Callee.ID, cf.readWhy),
+					})
+				}
+				if cf.WritesCoord && !(cfg.OwnAllow != "" && prog.Allowed(cfg.OwnAllow, prog.Fset.Position(e.Pos))) {
+					f.Writes = append(f.Writes, Site{
+						Pos:  e.Pos,
+						What: fmt.Sprintf("call to %s may write coordinator-owned state (%s)", e.Callee.ID, cf.writeWhy),
+					})
+				}
+				if cf.UsesRand && !(cfg.RandAllow != "" && prog.Allowed(cfg.RandAllow, prog.Fset.Position(e.Pos))) {
+					f.Rands = append(f.Rands, Site{
+						Pos:  e.Pos,
+						What: fmt.Sprintf("call to %s may draw from a coordinator-shared stream (%s)", e.Callee.ID, cf.randWhy),
+					})
+				}
+			}
+			sortSites(f.Reads)
+			sortSites(f.Writes)
+			sortSites(f.Rands)
+		}
+	}
 	return s
+}
+
+// calleeFactWhy is calleeWhy for the owned-state facts: keep the chain
+// at one hop.
+func calleeFactWhy(id, why string) string {
+	if strings.HasPrefix(why, "calls ") {
+		return "calls " + id + ", transitively"
+	}
+	return "calls " + id + ": " + why
 }
 
 // calleeWhy builds a one-line witness for "calls X", keeping the chain

@@ -110,14 +110,23 @@ type Options struct {
 }
 
 // Cluster is a deterministic multi-node HORSE deployment.
+//
+// The field annotations below encode the conservative-PDES ownership
+// split (DESIGN.md §9, §13): coordinator-owned state may only be
+// touched between serve barriers, and the shardsafe/sharedrand
+// analyzers reject any shard-phase path that reaches it. clock,
+// engine, and nodes stay unannotated on purpose — the node *list* is
+// immutable during a run and read by every shard to find its own
+// nodes, while the coordinator's pump engine is covered by eventsim's
+// own shard-local annotations (ownership is per instance).
 type Cluster struct {
 	clock  *simtime.Clock
 	engine *eventsim.Engine
 	nodes  []*Node
-	router *Router
+	router *Router //horselint:coordinator
 
 	deployments map[string]deploymentEntry
-	faults      *faultinject.Injector
+	faults      *faultinject.Injector //horselint:coordinator
 	metrics     *telemetry.Registry
 	seed        int64
 	shards      int
@@ -126,17 +135,19 @@ type Cluster struct {
 	// context per arrival (seq is the arrival index its trace ID derives
 	// from), and sloBudgets carries each function's latency budget into
 	// the trace's SLO verdict. All nil/zero when tracing is off.
-	rec        *trigtrace.Recorder
-	seq        uint64
-	sloBudgets map[string]simtime.Duration
+	rec        *trigtrace.Recorder         //horselint:coordinator
+	seq        uint64                      //horselint:coordinator
+	sloBudgets map[string]simtime.Duration //horselint:coordinator
 
-	rejected     uint64
-	failed       uint64
-	failovers    map[string]uint64
-	rehomeFailed uint64
+	rejected     uint64            //horselint:coordinator
+	failed       uint64            //horselint:coordinator
+	failovers    map[string]uint64 //horselint:coordinator
+	rehomeFailed uint64            //horselint:coordinator
 }
 
 // New builds a cluster of fresh nodes at the simulation epoch.
+//
+//horselint:coordinator
 func New(opts Options) (*Cluster, error) {
 	specs := opts.Specs
 	if len(specs) == 0 {
@@ -237,11 +248,15 @@ func (c *Cluster) Seed() int64 { return c.seed }
 func (c *Cluster) Trace() *trigtrace.Recorder { return c.rec }
 
 // SetTrace arms (or, with nil, disarms) the trigger-trace recorder.
+//
+//horselint:coordinator
 func (c *Cluster) SetTrace(rec *trigtrace.Recorder) { c.rec = rec }
 
 // SetSLOBudget sets the latency budget a function's traces are judged
 // against (0 removes it). Run seeds these from its per-function
 // budgets; direct Trigger callers may set them explicitly.
+//
+//horselint:coordinator
 func (c *Cluster) SetSLOBudget(name string, budget simtime.Duration) {
 	if c.sloBudgets == nil {
 		c.sloBudgets = make(map[string]simtime.Duration)
@@ -428,6 +443,8 @@ func (c *Cluster) Rebalance() error {
 // immediately, and its warm capacity is re-homed onto the surviving
 // nodes deployment by deployment. A re-homing error degrades capacity
 // but never cancels the drain — the node is going away regardless.
+//
+//horselint:coordinator
 func (c *Cluster) Drain(id string) error {
 	n, err := c.node(id)
 	if err != nil {
@@ -468,6 +485,8 @@ func (c *Cluster) Drain(id string) error {
 // Fail hard-kills a node: health goes to Failed and its pools are lost
 // with it — no re-homing, the capacity must be rebuilt by ScaleCluster
 // or Rebalance on the survivors.
+//
+//horselint:coordinator
 func (c *Cluster) Fail(id string) error {
 	n, err := c.node(id)
 	if err != nil {
@@ -490,6 +509,8 @@ func (c *Cluster) Fail(id string) error {
 // is cumulative by design survives: the telemetry registry's
 // instruments, the fault injector's visit counters, and the node-local
 // clocks (Run settles those into a well-defined start instant).
+//
+//horselint:coordinator
 func (c *Cluster) resetRunState() {
 	c.seq = 0
 	c.rejected = 0
@@ -506,6 +527,8 @@ func (c *Cluster) resetRunState() {
 }
 
 // countFailover records one voided routing decision.
+//
+//horselint:coordinator
 func (c *Cluster) countFailover(reason string) {
 	c.failovers[reason]++
 	c.metrics.Counter("cluster_failovers_total", "reason", reason).Inc()
@@ -531,6 +554,8 @@ type Placement struct {
 // it, failing over across nodes when the picked node dies, drains, or
 // exhausts its local fallback chain. The returned Placement reports
 // where it landed and what it cost end to end.
+//
+//horselint:coordinator
 func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faas.Invocation, Placement, error) {
 	entry, ok := c.deployments[name]
 	if !ok {

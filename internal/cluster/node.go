@@ -86,8 +86,8 @@ type Node struct {
 	id       string
 	index    int
 	spec     NodeSpec
-	platform *faas.Platform
-	health   Health
+	platform *faas.Platform //horselint:shardlocal
+	health   Health         //horselint:coordinator
 
 	// engine is the node-local discrete-event engine of the
 	// conservative-PDES run loop (DESIGN.md §13). It shares the
@@ -95,13 +95,16 @@ type Node struct {
 	// the node's lag is measured from. The coordinator schedules routed
 	// triggers here between barriers; during a serve barrier only the
 	// node's own shard touches it.
+	//
+	//horselint:shardlocal
 	engine *eventsim.Engine
 
-	// placements counts routing decisions that picked this node;
-	// served counts triggers that completed here. The difference is
+	// placements counts routing decisions that picked this node (the
+	// router charges it on the coordinator); served counts triggers that
+	// completed here (the serving shard charges it). The difference is
 	// picks that failed over elsewhere.
-	placements uint64
-	served     uint64
+	placements uint64 //horselint:coordinator
+	served     uint64 //horselint:shardlocal
 
 	// triggers and load are the node's per-trigger instruments, prebound
 	// at cluster construction so the trigger hot path skips the
@@ -138,9 +141,13 @@ func (n *Node) Served() uint64 { return n.served }
 // Lag is the node's load score: how far its local clock runs ahead of
 // the cluster instant now — the virtual-time backlog a new trigger
 // would wait behind. A node that has never served is at the epoch and
-// reports zero.
+// reports zero. Lag is read on both sides of the barrier — the router
+// scores nodes with it between barriers, and the serving shard samples
+// it for the load gauge — which is safe because it derives from the
+// node's own clock, never from coordinator-owned state.
 //
 //horselint:hotpath
+//horselint:shardphase
 func (n *Node) Lag(now simtime.Time) simtime.Duration {
 	local := n.platform.Clock().Now()
 	if local.After(now) {

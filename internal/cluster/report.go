@@ -223,7 +223,11 @@ func newReportBuilder(c *Cluster, horizon simtime.Duration, budgets map[string]s
 
 // record folds one trigger outcome into the report. Mode latencies are
 // grouped by the mode that actually served (after fallback), because
-// that is the distribution the paper's figures compare.
+// that is the distribution the paper's figures compare. Folding runs
+// on the coordinator during finalize, in arrival order, which is what
+// keeps the report byte-identical at every shard count.
+//
+//horselint:coordinator
 func (b *reportBuilder) record(fn, servedMode, node string, latency simtime.Duration, err error) {
 	b.arrivals++
 	out := b.byFn[fn]
@@ -257,6 +261,8 @@ func isRejection(err error) bool {
 
 // build assembles the final Report. Every map is drained through a
 // sorted key list so identical runs serialize identically.
+//
+//horselint:coordinator
 func (b *reportBuilder) build() Report {
 	c := b.cluster
 	r := Report{

@@ -75,9 +75,12 @@ func newRouter(policy string, c *Cluster, vnodes int, boundFactor float64, minHe
 func (r *Router) Policy() string { return r.policy.name() }
 
 // Pick runs one routing decision and charges the placement to the
-// chosen node.
+// chosen node. Routing mutates cross-node state (the placement charge,
+// policy cursors and scratch), so it is coordinator-only: the PDES
+// argument (DESIGN.md §13) routes every arrival between barriers.
 //
 //horselint:hotpath
+//horselint:coordinator
 func (r *Router) Pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	n, err := r.policy.pick(c, fn, ull, excluded, now)
 	if err != nil {
@@ -99,14 +102,16 @@ func eligible(n *Node, excluded map[int]bool) bool {
 // nodes. The cursor advances past the chosen node so consecutive
 // triggers spread out even when every node is healthy.
 type roundRobin struct {
-	next int
+	next int //horselint:coordinator
 }
 
 func (*roundRobin) name() string { return PolicyRoundRobin }
 
+//horselint:coordinator
 func (rr *roundRobin) reset() { rr.next = 0 }
 
 //horselint:hotpath
+//horselint:coordinator
 func (rr *roundRobin) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	total := len(c.nodes)
 	for i := 0; i < total; i++ {
@@ -193,10 +198,10 @@ type ullAffinity struct {
 
 	// visited is per-pick scratch for the ring walk: visited[i] ==
 	// visitGen marks node i as seen this pick. The node set is fixed at
-	// construction and a cluster is driven from one goroutine, so the
-	// scratch keeps the route path allocation-free.
-	visited  []uint32
-	visitGen uint32
+	// construction and routing runs only on the coordinator, so the
+	// scratch keeps the route path allocation-free without a lock.
+	visited  []uint32 //horselint:coordinator
+	visitGen uint32   //horselint:coordinator
 }
 
 func newULLAffinity(c *Cluster, vnodes int, boundFactor float64, minHeadroom simtime.Duration) *ullAffinity {
@@ -243,6 +248,7 @@ func (*ullAffinity) name() string { return PolicyULLAffinity }
 func (*ullAffinity) reset() {}
 
 //horselint:hotpath
+//horselint:coordinator
 func (a *ullAffinity) pick(c *Cluster, fn string, ull bool, excluded map[int]bool, now simtime.Time) (*Node, error) {
 	if !ull {
 		// Steer background traffic off the reserved nodes while any

@@ -72,30 +72,40 @@ type pendingJob struct {
 	arrival simtime.Time
 	tc      trigtrace.Context
 
-	// Failover state, coordinator-owned.
-	excluded  map[int]bool
-	failovers int
-	lastErr   error
+	// Failover state, coordinator-owned: only routeJob and serveEpoch's
+	// retry sweep touch it, strictly between barriers.
+	excluded  map[int]bool //horselint:coordinator
+	failovers int          //horselint:coordinator
+	lastErr   error        //horselint:coordinator
 
-	// Per-attempt slots: node is set at route time; the serve handler
-	// fills the rest on the node's shard.
+	// Per-attempt slots: node and policy are set at route time; the
+	// serve handler fills the rest on the node's shard. These are the
+	// sanctioned cross-phase hand-off — single-owner by the barrier
+	// protocol, so they deliberately carry no ownership annotation.
+	// policy is stamped here precisely so the serve handler does not
+	// read it through the coordinator-owned router (shardsafe rejects
+	// that access).
 	node       *Node
+	policy     string
 	inv        faas.Invocation
 	wait       simtime.Duration
 	attemptErr error
 	failedAt   simtime.Time
 
-	// Terminal outcome. err is what the report records; outErr is the
-	// trace outcome's error string (for invocation failures the trace
-	// keeps the platform's own error, while the report's err carries
-	// the ErrInvokeNotRetried wrap).
-	err     error
-	outErr  string
+	// Terminal outcome, coordinator-owned. err is what the report
+	// records; outErr is the trace outcome's error string (for
+	// invocation failures the trace keeps the platform's own error,
+	// while the report's err carries the ErrInvokeNotRetried wrap).
+	err    error  //horselint:coordinator
+	outErr string //horselint:coordinator
+
 	latency simtime.Duration
 }
 
 // exclude rules a node out of this job's remaining routing decisions.
 // Allocated lazily: the common trigger serves on its first pick.
+//
+//horselint:coordinator
 func (j *pendingJob) exclude(idx, nodes int) {
 	if j.excluded == nil {
 		j.excluded = make(map[int]bool, nodes)
@@ -115,6 +125,8 @@ func (j *pendingJob) exclude(idx, nodes int) {
 // barriers, so the run is deterministic by construction: same seed,
 // same options, same quantum ⇒ a byte-identical report at every shard
 // count and GOMAXPROCS.
+//
+//horselint:coordinator
 func (c *Cluster) Run(cfg RunConfig) (Report, error) {
 	if cfg.Horizon <= 0 {
 		return Report{}, errors.New("cluster: run horizon must be positive")
@@ -229,6 +241,8 @@ func (c *Cluster) Run(cfg RunConfig) (Report, error) {
 // retryably come back to the coordinator and re-route in the next
 // wave, exactly mirroring Trigger's failover loop. When every job is
 // terminal the epoch is finalized into the report in arrival order.
+//
+//horselint:coordinator
 func (c *Cluster) serveEpoch(group *eventsim.ShardGroup, jobs []*pendingJob, builder *reportBuilder) error {
 	shards := group.Shards()
 	pending := jobs
@@ -306,6 +320,8 @@ func (c *Cluster) serveEpoch(group *eventsim.ShardGroup, jobs []*pendingJob, bui
 // terminally rejected (false). The cluster.node.* fault sites fire
 // here, against the shared parent injector, in arrival order — the
 // same stream a sequential run draws.
+//
+//horselint:coordinator
 func (c *Cluster) routeJob(job *pendingJob) bool {
 	for {
 		n, err := c.router.Pick(c, job.fn, job.ull, job.excluded, job.arrival)
@@ -346,6 +362,7 @@ func (c *Cluster) routeJob(job *pendingJob) bool {
 			continue
 		}
 		job.node = n
+		job.policy = c.router.Policy()
 		job.attemptErr = nil
 		at := job.arrival
 		if local := n.platform.Clock().Now(); local.After(at) {
@@ -365,6 +382,8 @@ func (c *Cluster) routeJob(job *pendingJob) bool {
 // the job (single-owner), the node, and the node's platform; the trace
 // context is the job's own, so recording is race-free even though the
 // recorder is shared.
+//
+//horselint:shardphase
 func (c *Cluster) serveJob(job *pendingJob) {
 	n := job.node
 	local := n.platform.Clock()
@@ -380,7 +399,7 @@ func (c *Cluster) serveJob(job *pendingJob) {
 	// span covering exactly the virtual time it cost.
 	mark := job.tc.Mark()
 	job.tc.SetNode(n.id)
-	job.tc.RecordOn(trigtrace.StagePlacement, job.arrival, 0, n.id, "", c.router.Policy())
+	job.tc.RecordOn(trigtrace.StagePlacement, job.arrival, 0, n.id, "", job.policy)
 	job.tc.RecordOn(trigtrace.StageQueueWait, job.arrival, wait, n.id, "", "")
 	inv, terr := n.platform.TriggerTraced(job.tc, job.fn, job.mode, job.payload)
 	if terr != nil {

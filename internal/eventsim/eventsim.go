@@ -76,7 +76,13 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
-// concurrent use; handlers run on the caller's goroutine.
+// concurrent use; handlers run on the caller's goroutine. In the sharded
+// cluster run every node engine is owned by the shard draining it, so the
+// whole state is marked shard-local: mutation may only happen inside
+// phase-annotated code (the coordinator's own pump engine is covered by
+// the same annotations — ownership is per instance).
+//
+//horselint:shardlocal
 type Engine struct {
 	clock   *simtime.Clock
 	heap    eventHeap
@@ -105,6 +111,8 @@ func (e *Engine) Clock() *simtime.Clock { return e.clock }
 func (e *Engine) Now() simtime.Time { return e.clock.Now() }
 
 // Len returns the number of pending events.
+//
+//horselint:shardphase
 func (e *Engine) Len() int { return len(e.heap) }
 
 // Fired returns how many events this engine has fired over its
@@ -116,6 +124,8 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Schedule registers handler to fire at the absolute instant at.
 // Scheduling at the current instant is allowed (the event fires on the
 // next Step); scheduling in the past returns ErrPastEvent.
+//
+//horselint:shardphase
 func (e *Engine) Schedule(at simtime.Time, handler Handler) (EventID, error) {
 	if at < e.clock.Now() {
 		return 0, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.clock.Now())
@@ -132,6 +142,8 @@ func (e *Engine) Schedule(at simtime.Time, handler Handler) (EventID, error) {
 }
 
 // ScheduleAfter registers handler to fire d after the current instant.
+//
+//horselint:shardphase
 func (e *Engine) ScheduleAfter(d simtime.Duration, handler Handler) (EventID, error) {
 	if d < 0 {
 		return 0, fmt.Errorf("%w: negative delay %v", ErrPastEvent, d)
@@ -141,6 +153,8 @@ func (e *Engine) ScheduleAfter(d simtime.Duration, handler Handler) (EventID, er
 
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false if it already fired or was cancelled).
+//
+//horselint:shardphase
 func (e *Engine) Cancel(id EventID) bool {
 	ev, ok := e.pending[id]
 	if !ok {
@@ -159,6 +173,8 @@ func (e *Engine) Cancel(id EventID) bool {
 // charge virtual work does exactly that), the event fires at the
 // current instant instead of panicking the clock backward. The handler
 // still receives the event's scheduled instant as now.
+//
+//horselint:shardphase
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -178,6 +194,8 @@ func (e *Engine) Step() bool {
 // number of events fired by this call (0 means unbounded) and guards
 // against runaway self-scheduling loops; exceeding it returns an error
 // matching ErrMaxEvents that carries the fired and pending counts.
+//
+//horselint:shardphase
 func (e *Engine) Run(maxEvents int) error {
 	start := e.fired
 	for e.Step() {
@@ -196,6 +214,8 @@ func (e *Engine) Run(maxEvents int) error {
 // fire unbounded events inside one deadline window; exhausting the
 // budget with in-window events still pending returns an error matching
 // ErrMaxEvents (and leaves the clock where the last event put it).
+//
+//horselint:shardphase
 func (e *Engine) RunUntil(deadline simtime.Time, maxEvents int) error {
 	start := e.fired
 	for len(e.heap) > 0 && e.heap[0].at <= deadline {

@@ -5,6 +5,11 @@ import (
 	"sync"
 )
 
+// ErrClosed is returned by Each after Close: a closed group has no
+// workers, and silently serving the barrier inline would turn a
+// sharded run into a sequential one without anyone noticing.
+var ErrClosed = errors.New("eventsim: shard group is closed")
+
 // ShardGroup is the barrier primitive of the conservative-PDES cluster
 // run (DESIGN.md §13): it owns one persistent worker goroutine per
 // shard and executes one closure per shard in lockstep — Each returns
@@ -12,18 +17,24 @@ import (
 // scores, fault mutations, report accumulation) belongs to the caller
 // and must only be touched between Each calls, which is what makes a
 // sharded simulation deterministic: the goroutines never interleave on
-// shared state, they only bound which shard serves which node.
+// shared state, they only bound which shard serves which node. The
+// shardsafe/phaseann analyzers enforce that split statically: Each may
+// only be called from a //horselint:coordinator function, and each
+// handler literal is a shard-phase root.
 //
 // A group of one shard spawns no goroutines at all — Each runs the
 // closure inline on the caller's goroutine — so a single-shard run is
 // truly sequential, not "parallel with one worker".
 type ShardGroup struct {
-	work []chan func()
-	wg   sync.WaitGroup
+	work   []chan func()
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // NewShardGroup builds a group of n shards (n < 1 is treated as 1) and
 // starts its workers. The caller must Close the group to stop them.
+//
+//horselint:coordinator
 func NewShardGroup(n int) *ShardGroup {
 	g := &ShardGroup{}
 	if n < 2 {
@@ -55,8 +66,13 @@ func (g *ShardGroup) Shards() int {
 // Each runs fn(shard) once per shard and blocks until all have
 // returned — one barrier step. Shard errors are joined in shard-index
 // order, so the combined error is deterministic regardless of which
-// worker finished first.
+// worker finished first. Each on a closed group returns ErrClosed.
+//
+//horselint:coordinator
 func (g *ShardGroup) Each(fn func(shard int) error) error {
+	if g.closed {
+		return ErrClosed
+	}
 	if len(g.work) == 0 {
 		return fn(0)
 	}
@@ -74,12 +90,19 @@ func (g *ShardGroup) Each(fn func(shard int) error) error {
 	return errors.Join(errs...)
 }
 
-// Close stops the workers and waits for them to exit. The group must
-// not be used after Close; closing a 1-shard group is a no-op.
+// Close stops the workers and waits for them to exit. Close is
+// idempotent; after it, Each reports ErrClosed (even for a 1-shard
+// group, whose barrier was inline and spawned no workers).
+//
+//horselint:coordinator
 func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
 	for _, ch := range g.work {
 		close(ch)
 	}
 	g.wg.Wait()
 	g.work = nil
+	g.closed = true
 }

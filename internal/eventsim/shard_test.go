@@ -135,3 +135,22 @@ func TestShardGroupCloseStopsWorkers(t *testing.T) {
 		})
 	}
 }
+
+func TestShardGroupEachAfterCloseReturnsErrClosed(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, n := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards-%d", n), func(t *testing.T) {
+			g := NewShardGroup(n)
+			g.Close()
+			g.Close() // idempotent
+			ran := false
+			err := g.Each(func(int) error { ran = true; return nil })
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("Each after Close = %v, want ErrClosed", err)
+			}
+			if ran {
+				t.Fatal("Each after Close must not run the handler (a closed multi-shard group would silently degrade to an inline single shard)")
+			}
+		})
+	}
+}

@@ -142,7 +142,13 @@ func (r Rule) validate() error {
 	return nil
 }
 
-// siteState is the per-site PRNG plus visit bookkeeping.
+// siteState is the per-site PRNG plus visit bookkeeping. Ownership is
+// per instance: the cluster's parent injector belongs to the
+// coordinator (see Cluster.faults), while node-derived children are
+// checked from their owning shard — either way, mutation must stay in
+// phase-annotated code.
+//
+//horselint:shardlocal
 type siteState struct {
 	rng      *rand.Rand
 	rules    []Rule
@@ -152,12 +158,16 @@ type siteState struct {
 
 // Injector evaluates the armed rules at each Check. The zero value and
 // the nil pointer are inert: Check always returns nil.
+//
+//horselint:shardlocal
 type Injector struct {
 	seed  int64
 	sites map[Site]*siteState
 }
 
 // New builds an injector from an explicit seed and a rule set.
+//
+//horselint:coordinator
 func New(seed int64, rules ...Rule) (*Injector, error) {
 	in := &Injector{seed: seed, sites: make(map[Site]*siteState)}
 	for _, r := range rules {
@@ -176,6 +186,8 @@ func (in *Injector) Seed() int64 { return in.seed }
 // site returns (creating if needed) the state for s, with a PRNG whose
 // seed mixes the injector seed and the site name, so the draw sequence
 // of one site is independent of how often the others are checked.
+//
+//horselint:coordinator
 func (in *Injector) site(s Site) *siteState {
 	if st, ok := in.sites[s]; ok {
 		return st
@@ -197,6 +209,8 @@ func (in *Injector) site(s Site) *siteState {
 // rule set but its own reproducible draw sequence, independent of how
 // often the other nodes are checked. Safe on a nil injector (returns
 // nil, which is inert).
+//
+//horselint:coordinator
 func (in *Injector) Derive(scope string) *Injector {
 	if in == nil {
 		return nil
@@ -218,6 +232,8 @@ func (in *Injector) Derive(scope string) *Injector {
 
 // Check evaluates site's rules against this visit and returns the
 // injected fault, or nil to proceed. Safe on a nil injector.
+//
+//horselint:shardphase
 func (in *Injector) Check(site Site) error {
 	if in == nil {
 		return nil

@@ -56,6 +56,13 @@ type scored[T any] struct {
 
 // Buffer is a concurrent, deterministic flight-recorder retention
 // buffer. The zero value is unusable; build one with New.
+//
+// In the sharded cluster run the buffer belongs to the coordinator's
+// recorder: traces are offered during finalize, strictly between serve
+// barriers, so the whole state is coordinator-owned (the mutex stays as
+// defense in depth for non-PDES embedders).
+//
+//horselint:coordinator
 type Buffer[T any] struct {
 	mu    sync.Mutex
 	score func(T) simtime.Duration
@@ -89,6 +96,8 @@ func New[T any](capacity, worstK int, score func(T) simtime.Duration) *Buffer[T]
 // oldest when full); every item additionally competes for the worst-K
 // set by score. The returned reason is the strongest retention that
 // applied: must-keep beats worst-k beats dropped.
+//
+//horselint:coordinator
 func (b *Buffer[T]) Offer(item T, mustKeep bool) Reason {
 	if b == nil {
 		return ReasonDropped
@@ -120,6 +129,8 @@ func (b *Buffer[T]) Offer(item T, mustKeep bool) Reason {
 // offerWorst inserts the item into the worst-K set if it outranks the
 // current minimum. Ties keep the earlier offer (strict > comparison),
 // so retention never depends on insertion luck. Callers hold b.mu.
+//
+//horselint:coordinator
 func (b *Buffer[T]) offerWorst(item T, seq uint64) bool {
 	s := b.score(item)
 	if len(b.worst) >= b.k {
@@ -148,6 +159,8 @@ func (b *Buffer[T]) offerWorst(item T, seq uint64) bool {
 // Retained items are released for collection. The cluster resets its
 // recorder's buffer at the top of each run so back-to-back runs on one
 // cluster cannot leak the previous run's retained traces.
+//
+//horselint:coordinator
 func (b *Buffer[T]) Reset() {
 	if b == nil {
 		return

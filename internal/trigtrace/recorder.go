@@ -39,13 +39,17 @@ type Recorder struct {
 	seed     int64
 	disabled bool
 
-	mu        sync.Mutex
-	agg       map[aggKey]*aggCell
-	finished  uint64
-	violated  uint64
-	reconcile uint64 // traces whose serving stages did not sum to latency
+	mu sync.Mutex
+	// The aggregates below are the coordinator's run tallies: finish
+	// folds into them strictly between serve barriers, so shard-phase
+	// code must never reach them (reconcile counts traces whose serving
+	// stages did not sum to latency).
+	agg       map[aggKey]*aggCell //horselint:coordinator
+	finished  uint64              //horselint:coordinator
+	violated  uint64              //horselint:coordinator
+	reconcile uint64              //horselint:coordinator
 
-	flight *flightrec.Buffer[*TriggerTrace]
+	flight *flightrec.Buffer[*TriggerTrace] //horselint:coordinator
 
 	// Prebound instrument handles (nil registry ⇒ nil handles, inert):
 	// finish runs once per trigger, so it must not pay the registry's
@@ -96,6 +100,8 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 // top of each run so a recorder reused across back-to-back runs —
 // lazily armed or caller-supplied — reports only the run at hand.
 // Safe on a nil recorder.
+//
+//horselint:coordinator
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
@@ -119,6 +125,8 @@ func (r *Recorder) Seed() int64 {
 
 // Start mints the trace context for arrival seq. A nil or disabled
 // recorder returns an inert Context at zero cost.
+//
+//horselint:coordinator
 func (r *Recorder) Start(seq uint64, function, requested string, arrival simtime.Time, budget simtime.Duration) Context {
 	if r == nil || r.disabled {
 		return Context{}
@@ -137,6 +145,8 @@ func (r *Recorder) Start(seq uint64, function, requested string, arrival simtime
 
 // finish folds one completed trace into the aggregates and offers its
 // span tree to the flight recorder.
+//
+//horselint:coordinator
 func (r *Recorder) finish(tr *TriggerTrace, out Outcome) {
 	tr.Served = out.Served
 	tr.Node = out.Node
@@ -227,6 +237,8 @@ func (r *Recorder) Flight() *flightrec.Buffer[*TriggerTrace] {
 // Traces returns the retained span trees — the SLO-violator ring plus
 // the worst-K set, deduplicated — sorted by arrival sequence. The
 // caller owns the slice.
+//
+//horselint:coordinator
 func (r *Recorder) Traces() []*TriggerTrace {
 	if r == nil {
 		return nil
@@ -268,6 +280,8 @@ type StageLatency struct {
 // Attribution returns the tail-latency attribution table, sorted by
 // (mode, stage) so identical runs render identical tables. The caller
 // owns the slice.
+//
+//horselint:coordinator
 func (r *Recorder) Attribution() []StageLatency {
 	if r == nil {
 		return nil

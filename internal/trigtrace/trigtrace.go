@@ -44,6 +44,8 @@ func NewTraceID(seed int64, seq uint64) TraceID {
 
 // String renders the ID as fixed-width hex, the form carried in span
 // annotations and Perfetto flow ids.
+//
+//horselint:shardphase
 func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
 
 // Stage is one typed step of the trigger pipeline. The taxonomy is
@@ -189,6 +191,8 @@ type TriggerTrace struct {
 
 // IDString returns the trace ID in the fixed-width hex form used by
 // span annotations (precomputed once per trace).
+//
+//horselint:shardphase
 func (t *TriggerTrace) IDString() string {
 	if t.idString == "" {
 		t.idString = t.ID.String()
@@ -234,11 +238,13 @@ type Context struct {
 // Active reports whether the context records anything.
 //
 //horselint:hotpath
+//horselint:shardphase
 func (c Context) Active() bool { return c.tr != nil }
 
 // ID returns the trace ID (zero for an inert context).
 //
 //horselint:hotpath
+//horselint:shardphase
 func (c Context) ID() TraceID {
 	if c.tr == nil {
 		return 0
@@ -247,6 +253,8 @@ func (c Context) ID() TraceID {
 }
 
 // IDString returns the trace ID annotation ("" for an inert context).
+//
+//horselint:shardphase
 func (c Context) IDString() string {
 	if c.tr == nil {
 		return ""
@@ -258,6 +266,7 @@ func (c Context) IDString() string {
 // without an explicit one; the cluster calls it once per placement.
 //
 //horselint:hotpath
+//horselint:shardphase
 func (c Context) SetNode(node string) {
 	if c.tr == nil {
 		return
@@ -266,6 +275,8 @@ func (c Context) SetNode(node string) {
 }
 
 // Record appends one stage span on the current node.
+//
+//horselint:shardphase
 func (c Context) Record(stage Stage, start simtime.Time, dur simtime.Duration) {
 	if c.tr == nil {
 		return
@@ -278,6 +289,8 @@ func (c Context) Record(stage Stage, start simtime.Time, dur simtime.Duration) {
 // RecordOn appends one annotated stage span: node ("" selects the
 // current node) and mode say where and how, detail carries the
 // stage-specific annotation.
+//
+//horselint:shardphase
 func (c Context) RecordOn(stage Stage, start simtime.Time, dur simtime.Duration, node, mode, detail string) {
 	if c.tr == nil {
 		return
@@ -291,6 +304,8 @@ func (c Context) RecordOn(stage Stage, start simtime.Time, dur simtime.Duration,
 }
 
 // Reroute records one voided routing decision.
+//
+//horselint:shardphase
 func (c Context) Reroute(start simtime.Time, node, reason string) {
 	if c.tr == nil {
 		return
@@ -304,6 +319,7 @@ func (c Context) Reroute(start simtime.Time, node, reason string) {
 // Mark returns a position in the stage list for a later CollapseFailed.
 //
 //horselint:hotpath
+//horselint:shardphase
 func (c Context) Mark() int {
 	if c.tr == nil {
 		return 0
@@ -315,6 +331,8 @@ func (c Context) Mark() int {
 // failed-attempt span covering [start, start+dur) — the per-attempt
 // rollback that keeps failed attempts out of the serving-path sums
 // while still attributing exactly the virtual time they consumed.
+//
+//horselint:shardphase
 func (c Context) CollapseFailed(mark int, start simtime.Time, dur simtime.Duration, node, mode, site string) {
 	if c.tr == nil {
 		return
@@ -348,6 +366,8 @@ type Outcome struct {
 // span tree is offered to the SLO flight recorder. (Named Complete, not
 // Finish, so trigger-path call sites stay outside the faulterr
 // analyzer's monitored error-returning surface.)
+//
+//horselint:coordinator
 func (c Context) Complete(out Outcome) {
 	if c.tr == nil {
 		return
