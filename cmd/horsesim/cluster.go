@@ -30,15 +30,39 @@ func runCluster(args []string, w io.Writer) error {
 		policy   = fs.String("policy", "ull-affinity", "placement policy: "+strings.Join(horse.PlacementPolicies(), "|"))
 		arrivals = fs.String("arrivals", "scan=poisson:rate=1000/s,mode=horse",
 			"workload list, e.g. scan=poisson:rate=2000/s;thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
-		horizon  = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
-		seed     = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
-		shards   = fs.Int("shards", 1, "worker goroutines for the parallel serve phase (clamped to [1, nodes]; the report is byte-identical at every value)")
-		faults   = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
+		horizon = fs.Duration("horizon", 200*time.Millisecond, "virtual span to generate arrivals over")
+		seed    = fs.Int64("seed", 1, "seed for the arrival PRNG streams and the fault injector")
+		shards  = fs.Int("shards", 1, "worker goroutines for the parallel serve phase (clamped to [1, nodes]; the report is byte-identical at every value)")
+		faults  = fs.String("faults", "", "fault-injection spec, e.g. cluster.node.fail:nth=20,resume:rate=0.05")
+		tenants = fs.String("tenants", "",
+			"tenant contracts, e.g. steady:weight=4,slots=3;greedy:weight=1,rate=2500/s,burst=50 (workloads opt in via tenant=name)")
+		ullAdmit = fs.Float64("ull-admit-rate", 0,
+			"aggregate uLL admissions per second divided between tenants by weight (0 = fair-share gate off)")
+		preset = fs.String("preset", "",
+			"named scenario filling -arrivals/-tenants/-ull-admit-rate unless set explicitly: "+strings.Join(presetNames(), "|"))
 		format   = fs.String("format", "csv", "report format: csv|json")
 		traceOut = fs.String("trace-out", "", "write retained trigger span trees (SLO violators + worst-K) as Perfetto JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *preset != "" {
+		p, ok := horse.LookupLoadPreset(*preset)
+		if !ok {
+			return fmt.Errorf("unknown preset %q (want %s)", *preset, strings.Join(presetNames(), ", "))
+		}
+		// Explicitly set flags win over the preset's values.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["arrivals"] {
+			*arrivals = p.Arrivals
+		}
+		if !set["tenants"] {
+			*tenants = p.Tenants
+		}
+		if !set["ull-admit-rate"] {
+			*ullAdmit = p.ULLAdmitRate
+		}
 	}
 	if *nodes < 1 {
 		return fmt.Errorf("need at least one node")
@@ -58,6 +82,12 @@ func runCluster(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tenantSpecs []horse.TenantSpec
+	if *tenants != "" {
+		if tenantSpecs, err = horse.ParseTenants(*tenants); err != nil {
+			return err
+		}
+	}
 	specs := make([]horse.ClusterNodeSpec, *nodes)
 	for i := range specs {
 		if i < *ullNodes {
@@ -65,12 +95,14 @@ func runCluster(args []string, w io.Writer) error {
 		}
 	}
 	c, err := horse.NewCluster(horse.ClusterOptions{
-		Specs:    specs,
-		Policy:   *policy,
-		Seed:     *seed,
-		Faults:   injector,
-		Fallback: horse.FallbackConfig{Enabled: true},
-		Shards:   *shards,
+		Specs:        specs,
+		Policy:       *policy,
+		Seed:         *seed,
+		Faults:       injector,
+		Fallback:     horse.FallbackConfig{Enabled: true},
+		Shards:       *shards,
+		Tenants:      tenantSpecs,
+		ULLAdmitRate: *ullAdmit,
 	})
 	if err != nil {
 		return err
@@ -83,6 +115,11 @@ func runCluster(args []string, w io.Writer) error {
 			return err
 		}
 		if err := c.RegisterEverywhere(fn, horse.SandboxSpec{VCPUs: *vcpus, MemoryMB: *memoryMB}); err != nil {
+			return err
+		}
+		// Bind before provisioning so the tenant's slot and memory
+		// clamps govern the pools from the first ScaleCluster.
+		if err := c.BindTenant(wl.Function, wl.Tenant); err != nil {
 			return err
 		}
 		payloads[wl.Function] = payload
@@ -108,6 +145,16 @@ func runCluster(args []string, w io.Writer) error {
 		return report.WriteJSON(w)
 	}
 	return report.WriteCSV(w)
+}
+
+// presetNames lists the named scenario presets for flag usage text.
+func presetNames() []string {
+	ps := horse.LoadPresets()
+	names := make([]string, 0, len(ps))
+	for _, p := range ps {
+		names = append(names, p.Name)
+	}
+	return names
 }
 
 // writeTraceFile dumps the flight recorder's retained span trees (every

@@ -86,12 +86,56 @@ func TestClusterBadArguments(t *testing.T) {
 		{"-faults", "bogus-spec"},
 		{"-format", "xml"},
 		{"-badflag"},
+		{"-tenants", "bad name:weight=2"},
+		{"-tenants", "acme:weight=0"},
+		{"-preset", "no-such-preset"},
+		{"-arrivals", "scan=poisson:rate=5/s,tenant=ghost", "-tenants", "acme:weight=2"},
 	}
 	for _, args := range tests {
 		var buf bytes.Buffer
 		if err := run(append([]string{"cluster"}, args...), &buf); err == nil {
 			t.Fatalf("cluster args %v accepted", args)
 		}
+	}
+}
+
+// TestClusterTenantsFlag runs a tenanted mix end to end and checks the
+// report carries the per-tenant accounting sections.
+func TestClusterTenantsFlag(t *testing.T) {
+	out := string(clusterOut(t, "-seed", "42",
+		"-arrivals", "scan=poisson:rate=2000/s,mode=horse,tenant=steady;nat=poisson:rate=9000/s,mode=horse,tenant=greedy",
+		"-tenants", "steady:weight=4,slots=3;greedy:weight=1,rate=500/s,burst=20,slots=1",
+		"-ull-admit-rate", "6000"))
+	for _, want := range []string{
+		"tenant,weight,entitlement,", "steady,4,3,", "greedy,1,1,",
+		"rejection_reason,count", "admission,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tenanted report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestClusterPresetFlag pins that the named adversarial preset runs end
+// to end from the CLI, that its runs are byte-identical, and that an
+// explicit flag overrides the preset's value.
+func TestClusterPresetFlag(t *testing.T) {
+	args := []string{"-seed", "42", "-preset", "adversarial-tenants"}
+	first := string(clusterOut(t, args...))
+	second := string(clusterOut(t, args...))
+	if first != second {
+		t.Fatal("preset runs with the same seed differ")
+	}
+	for _, want := range []string{"steady,", "greedy,", "admission,"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("preset report missing %q:\n%s", want, first)
+		}
+	}
+	// An explicit -tenants wins over the preset's contract.
+	override := string(clusterOut(t, "-seed", "42", "-preset", "adversarial-tenants",
+		"-tenants", "steady:weight=1,slots=2;greedy:weight=1,slots=2"))
+	if !strings.Contains(override, "steady,1,2,") {
+		t.Fatalf("explicit -tenants did not override the preset:\n%s", override)
 	}
 }
 

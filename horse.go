@@ -44,6 +44,7 @@ import (
 	"github.com/horse-faas/horse/internal/loadgen"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
+	"github.com/horse-faas/horse/internal/tenant"
 	"github.com/horse-faas/horse/internal/trace"
 	"github.com/horse-faas/horse/internal/trigtrace"
 	"github.com/horse-faas/horse/internal/vmm"
@@ -550,3 +551,36 @@ func ParseArrivalSpec(s string) (ArrivalSpec, error) { return loadgen.ParseSpec(
 func NewLoadGenerator(seed int64, workloads []LoadWorkload, opts LoadGeneratorOptions) (*LoadGenerator, error) {
 	return loadgen.New(seed, workloads, opts)
 }
+
+// Multi-tenancy (DESIGN.md §14): per-tenant admission control and
+// weighted-fair sharing of the reserved uLL slots.
+type (
+	// TenantSpec is one tenant's contract — scheduling weight, trigger
+	// rate limit, uLL slot share, memory quota — one clause of the
+	// -tenants flag (ClusterOptions.Tenants).
+	TenantSpec = tenant.Spec
+	// TenantVerdict is one admission decision: admitted, or rejected by
+	// the rate gate or the uLL fair-share gate.
+	TenantVerdict = tenant.Verdict
+	// ClusterTenantSummary is one tenant's accounting row in a
+	// ClusterReport: entitlement, slots held, admission outcomes, and
+	// SLO attainment.
+	ClusterTenantSummary = cluster.TenantSummary
+	// LoadPreset is a named, ready-made experiment scenario: an
+	// -arrivals workload mix plus the -tenants contract it stresses.
+	LoadPreset = loadgen.Preset
+)
+
+// ParseTenants parses the -tenants flag syntax: semicolon-separated
+// name:key=value clauses, e.g.
+// "steady:weight=4,slots=3;greedy:weight=1,rate=2500/s,burst=50".
+func ParseTenants(s string) ([]TenantSpec, error) { return tenant.ParseSpecs(s) }
+
+// FormatTenants renders tenant specs back in ParseTenants syntax.
+func FormatTenants(specs []TenantSpec) string { return tenant.FormatSpecs(specs) }
+
+// LoadPresets returns every named scenario preset in display order.
+func LoadPresets() []LoadPreset { return loadgen.Presets() }
+
+// LookupLoadPreset resolves a scenario preset by name.
+func LookupLoadPreset(name string) (LoadPreset, bool) { return loadgen.LookupPreset(name) }

@@ -68,6 +68,7 @@ var DefaultSimPackages = []string{
 	"github.com/horse-faas/horse/internal/loadgen",
 	"github.com/horse-faas/horse/internal/trigtrace",
 	"github.com/horse-faas/horse/internal/flightrec",
+	"github.com/horse-faas/horse/internal/tenant",
 }
 
 // Default returns the analyzer configured for this repository.

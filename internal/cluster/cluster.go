@@ -25,6 +25,7 @@ import (
 	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/simtime"
 	"github.com/horse-faas/horse/internal/telemetry"
+	"github.com/horse-faas/horse/internal/tenant"
 	"github.com/horse-faas/horse/internal/trigtrace"
 	"github.com/horse-faas/horse/internal/workload"
 )
@@ -57,10 +58,15 @@ const (
 )
 
 // deploymentEntry is the cluster's record of one registered function.
+// tenant is the owning tenant's index in the cluster's controller (-1
+// for untenanted functions, which are never admission-gated);
+// tenantName is its name, carried into traces and the report.
 type deploymentEntry struct {
-	fn   workload.Function
-	spec faas.SandboxSpec
-	ull  bool
+	fn         workload.Function
+	spec       faas.SandboxSpec
+	ull        bool
+	tenant     int
+	tenantName string
 }
 
 // Options configures a Cluster.
@@ -95,6 +101,16 @@ type Options struct {
 	VirtualNodes int
 	BoundFactor  float64
 	MinHeadroom  simtime.Duration
+	// Tenants, when non-empty, arms the multi-tenant admission gate:
+	// every tenant-bound function's triggers are rate-limited against
+	// its token bucket, and its uLL triggers share the reserved uLL
+	// admission bandwidth by weight (DESIGN.md §14). The reserved slot
+	// entitlements are apportioned over the cluster's total ULLSlots.
+	Tenants []tenant.Spec
+	// ULLAdmitRate is the aggregate uLL admissions/second the tenants'
+	// weighted fair shares divide (0 disables the share gate; per-tenant
+	// rate limits still apply).
+	ULLAdmitRate float64
 	// Trace, when non-nil, records an end-to-end span tree per trigger
 	// (DESIGN.md §12). Run arms one automatically when this is nil; a
 	// direct Trigger caller without one pays only the inert-context
@@ -130,6 +146,12 @@ type Cluster struct {
 	metrics     *telemetry.Registry
 	seed        int64
 	shards      int
+
+	// tenants is the multi-tenant admission controller (nil without a
+	// tenant contract). Admission runs on the coordinator in arrival
+	// order — the gate is cross-tenant shared state, exactly the kind
+	// of decision the PDES contract centralizes.
+	tenants *tenant.Controller //horselint:coordinator
 
 	// rec, seq, and sloBudgets drive per-trigger tracing: rec mints one
 	// context per arrival (seq is the arrival index its trace ID derives
@@ -218,10 +240,26 @@ func New(opts Options) (*Cluster, error) {
 			load:     opts.Metrics.Gauge("cluster_node_load", "node", id),
 		})
 	}
+	if len(opts.Tenants) > 0 {
+		slots := 0
+		for _, n := range c.nodes {
+			slots += n.spec.ULLSlots
+		}
+		ctrl, err := tenant.New(opts.Tenants, tenant.Options{
+			Slots:   slots,
+			ULLRate: opts.ULLAdmitRate,
+			Metrics: opts.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tenants: %w", err)
+		}
+		c.tenants = ctrl
+	}
 	router, err := newRouter(policy, c, opts.VirtualNodes, opts.BoundFactor, opts.MinHeadroom)
 	if err != nil {
 		return nil, err
 	}
+	router.tenants = c.tenants
 	c.router = router
 	return c, nil
 }
@@ -320,7 +358,7 @@ func (c *Cluster) RegisterEverywhere(fn workload.Function, spec faas.SandboxSpec
 			return fmt.Errorf("cluster: register %q on %s: %w", fn.Name(), n.id, err)
 		}
 	}
-	c.deployments[fn.Name()] = deploymentEntry{fn: fn, spec: spec, ull: fn.Category().ULL()}
+	c.deployments[fn.Name()] = deploymentEntry{fn: fn, spec: spec, ull: fn.Category().ULL(), tenant: -1}
 	return nil
 }
 
@@ -337,8 +375,10 @@ func (c *Cluster) DeploymentNames() []string {
 // scaleTargets assigns total warm-pool entries for one deployment and
 // policy across the eligible nodes, round-robin one slot at a time so a
 // heterogeneous cluster fills evenly. HORSE pools are confined to
-// uLL-reserved nodes and capped at each node's ULLSlots; every
-// placement is admitted against the node's live sandbox-memory
+// uLL-reserved nodes and capped at each node's ULLSlots minus the
+// reserved slots other functions' HORSE pools already occupy (the
+// slots are one physical resource, not a per-function allowance);
+// every placement is admitted against the node's live sandbox-memory
 // commitment. Returns the eligible nodes and their targets.
 func (c *Cluster) scaleTargets(name string, total int, policy core.Policy) ([]*Node, []int) {
 	entry := c.deployments[name]
@@ -357,8 +397,13 @@ func (c *Cluster) scaleTargets(name string, total int, policy core.Policy) ([]*N
 		if cap < 0 {
 			cap = 0
 		}
-		if policy == core.Horse && cap > n.spec.ULLSlots {
-			cap = n.spec.ULLSlots
+		if policy == core.Horse {
+			if slots := n.spec.ULLSlots - n.horseOccupied(c, name); cap > slots {
+				cap = slots
+			}
+			if cap < 0 {
+				cap = 0
+			}
 		}
 		nodes = append(nodes, n)
 		caps = append(caps, cap)
@@ -389,14 +434,30 @@ func (c *Cluster) scaleTargets(name string, total int, policy core.Policy) ([]*N
 // (see scaleTargets). It returns how many entries are now placed; when
 // capacity caps the placement below total, the remainder is simply not
 // placed — triggers beyond the warm capacity degrade through the
-// fallback chain instead of failing.
+// fallback chain instead of failing. A tenant-bound deployment's
+// request is first clamped by the tenant contract (clampTenantScale):
+// HORSE slots by the weighted-fair entitlement with borrow-and-reclaim,
+// every pool by the tenant's memory quota.
 func (c *Cluster) ScaleCluster(name string, total int, policy core.Policy) (int, error) {
-	if _, ok := c.deployments[name]; !ok {
+	entry, ok := c.deployments[name]
+	if !ok {
 		return 0, fmt.Errorf("%w: %q", faas.ErrUnknownFunction, name)
 	}
 	if total < 0 {
 		return 0, fmt.Errorf("cluster: negative pool target %d", total)
 	}
+	if c.tenants != nil && entry.tenant >= 0 {
+		total = c.clampTenantScale(entry.tenant, name, total, policy)
+	}
+	placed, err := c.applyScale(name, total, policy)
+	c.publishTenantOccupancy()
+	return placed, err
+}
+
+// applyScale places one deployment's pool target across the eligible
+// nodes with no tenancy clamp — the shared lower half of ScaleCluster,
+// also used by the reclaim path to shrink a victim's own holdings.
+func (c *Cluster) applyScale(name string, total int, policy core.Policy) (int, error) {
 	nodes, targets := c.scaleTargets(name, total, policy)
 	placed := 0
 	for i, n := range nodes {
@@ -479,6 +540,7 @@ func (c *Cluster) Drain(id string) error {
 			}
 		}
 	}
+	c.publishTenantOccupancy()
 	return firstErr
 }
 
@@ -496,6 +558,9 @@ func (c *Cluster) Fail(id string) error {
 		return fmt.Errorf("%w: %s is already failed", ErrNodeNotUp, id)
 	}
 	n.health = Failed
+	// The node's pools died with it; the tenants' occupancy gauges must
+	// not keep counting them.
+	c.publishTenantOccupancy()
 	return nil
 }
 
@@ -520,6 +585,11 @@ func (c *Cluster) resetRunState() {
 	c.sloBudgets = nil
 	c.router.policy.reset()
 	c.rec.Reset()
+	// The admission controller's buckets, deficits, and tallies are
+	// per-run state; occupancy is republished from the live pools so a
+	// run starts with gauges that match what is actually placed.
+	c.tenants.ResetCounters()
+	c.publishTenantOccupancy()
 	for _, n := range c.nodes {
 		n.placements = 0
 		n.served = 0
@@ -566,6 +636,16 @@ func (c *Cluster) Trigger(name string, mode faas.StartMode, payload []byte) (faa
 	if c.rec != nil {
 		tc = c.rec.Start(c.seq, name, mode.String(), arrival, c.sloBudgets[name])
 		c.seq++
+	}
+	tc.SetTenant(entry.tenantName)
+	// The tenant admission gate runs before any routing decision: a
+	// reject consumes no placement and charges the tenant, not the
+	// cluster's capacity.
+	if v := c.router.Admit(entry.tenant, arrival, entry.ull); v != tenant.Admitted {
+		c.rejected++
+		err := admissionError(entry.tenantName, v)
+		tc.Complete(trigtrace.Outcome{Err: err.Error()})
+		return faas.Invocation{}, Placement{NodeIndex: -1}, err
 	}
 	// excluded is allocated lazily on the first failover: the common
 	// trigger serves on the first pick and never needs the map.
@@ -693,5 +773,6 @@ func (c *Cluster) Reap() (int, error) {
 			return total, fmt.Errorf("cluster: reap on %s: %w", n.id, err)
 		}
 	}
+	c.publishTenantOccupancy()
 	return total, nil
 }

@@ -4,13 +4,15 @@ import (
 	"testing"
 
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/tenant"
 )
 
 // Allocation sinks keep the pinned calls from being optimized away.
 var (
-	sinkBool bool
-	sinkHash uint64
-	sinkDur  simtime.Duration
+	sinkBool    bool
+	sinkHash    uint64
+	sinkDur     simtime.Duration
+	sinkVerdict tenant.Verdict
 )
 
 // hotpathCluster builds the 8-node routing topology (2 uLL-reserved
@@ -99,5 +101,29 @@ func TestHotPathAllocFree(t *testing.T) {
 		sinkDur = node.Lag(now)
 	}); n != 0 {
 		t.Errorf("Node.Lag allocates %v per run, want 0", n)
+	}
+
+	// The tenant admission gate runs once per arrival ahead of every
+	// pick; it must be as allocation-free as the pick itself. Pinned
+	// both with a contract armed and on the untenanted fast path.
+	tenanted, err := New(Options{
+		Specs:        []NodeSpec{{ULLSlots: 2}, {ULLSlots: 2}},
+		Seed:         42,
+		Tenants:      []tenant.Spec{{Name: "acme", Weight: 3, Rate: 1e6}, {Name: "bg", Weight: 1}},
+		ULLAdmitRate: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tnow := tenanted.clock.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		sinkVerdict = tenanted.router.Admit(0, tnow, true)
+	}); n != 0 {
+		t.Errorf("Router.Admit (tenanted) allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkVerdict = c.router.Admit(-1, now, true)
+	}); n != 0 {
+		t.Errorf("Router.Admit (untenanted) allocates %v per run, want 0", n)
 	}
 }

@@ -157,10 +157,10 @@ func (n *Node) Lag(now simtime.Time) simtime.Duration {
 }
 
 // committedMB returns the node's live sandbox-memory commitment: the
-// sum over deployments of warm-pool size × per-sandbox memory. It is
-// computed from the pools rather than kept as a ledger so reaping,
-// destroy failures, and pool churn inside the platform can never make
-// the admission check drift.
+// sum over deployments of the platform's own pool attribution
+// (PoolStats.CommittedMB). It is computed from the pools rather than
+// kept as a ledger so reaping, destroy failures, and pool churn inside
+// the platform can never make the admission check drift.
 func (n *Node) committedMB(c *Cluster) int {
 	names := make([]string, 0, len(c.deployments))
 	for name := range c.deployments {
@@ -176,7 +176,7 @@ func (n *Node) committedMB(c *Cluster) int {
 			// commits nothing.
 			continue
 		}
-		total += stats.Size * c.deployments[name].spec.MemoryMB
+		total += stats.CommittedMB
 	}
 	return total
 }
@@ -189,4 +189,18 @@ func (n *Node) poolCount(name string, policy core.Policy) int {
 		return 0
 	}
 	return stats.ByPolicy[policy]
+}
+
+// horseOccupied returns the node's HORSE pool entries held by every
+// deployment except the named one — the reserved uLL slots already
+// spoken for when that deployment scales here.
+func (n *Node) horseOccupied(c *Cluster, except string) int {
+	total := 0
+	for name := range c.deployments {
+		if name == except {
+			continue
+		}
+		total += n.poolCount(name, core.Horse)
+	}
+	return total
 }

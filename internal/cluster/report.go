@@ -29,6 +29,9 @@ type Report struct {
 	Served   uint64 `json:"served"`
 	Rejected uint64 `json:"rejected"`
 	Failed   uint64 `json:"failed"`
+	// RejectionReasons breaks Rejected down: "no-nodes" (no eligible
+	// node) vs "admission" (refused at the tenant admission gate).
+	RejectionReasons []ReasonCount `json:"rejection_reasons"`
 	// Failovers counts voided routing decisions, broken down by reason.
 	Failovers       uint64        `json:"failovers"`
 	FailoverReasons []ReasonCount `json:"failover_reasons"`
@@ -40,6 +43,12 @@ type Report struct {
 	// aggregate over the uLL functions (1 when none saw traffic).
 	SLOs          []SLOSummary `json:"slos"`
 	ULLAttainment float64      `json:"ull_attainment"`
+	// Tenants and TenantModes are the per-tenant accounting (DESIGN.md
+	// §14): one summary per tenant in name order, and the per-tenant
+	// per-served-mode latency distributions. Empty without a tenant
+	// contract.
+	Tenants     []TenantSummary     `json:"tenants,omitempty"`
+	TenantModes []TenantModeLatency `json:"tenant_modes,omitempty"`
 	// Attribution is the tail-latency attribution table: the per-stage
 	// latency distribution under each served start mode, from the
 	// trigger-trace layer (DESIGN.md §12). Per mode, the serving-class
@@ -80,6 +89,41 @@ type NodeSummary struct {
 	Lag        simtime.Duration `json:"lag_ns"`
 	P50        simtime.Duration `json:"p50_ns"`
 	P99        simtime.Duration `json:"p99_ns"`
+}
+
+// TenantSummary is one tenant's end-of-run accounting: what the
+// contract granted it (weight, slot entitlement), what it holds
+// (SlotsHeld, live from the pools; TokensAvailable, the rate bucket's
+// end-of-run level — always 0 for tenants without a rate limit, whose
+// bucket is never armed), and what its traffic saw. Rejections are
+// split the same way as the cluster's: AdmissionRejected at the tenant
+// gate, Rejected for no eligible node.
+type TenantSummary struct {
+	Tenant            string  `json:"tenant"`
+	Weight            int     `json:"weight"`
+	Entitlement       int     `json:"entitlement"`
+	SlotsHeld         int     `json:"slots_held"`
+	Arrivals          uint64  `json:"arrivals"`
+	Served            uint64  `json:"served"`
+	AdmissionRejected uint64  `json:"admission_rejected"`
+	Rejected          uint64  `json:"rejected"`
+	Failed            uint64  `json:"failed"`
+	Missed            uint64  `json:"missed"`
+	Attainment        float64 `json:"attainment"`
+	ULLAttainment     float64 `json:"ull_attainment"`
+	TokensAvailable   float64 `json:"tokens_available"`
+}
+
+// TenantModeLatency is one tenant's arrival-to-completion latency
+// distribution under one served start mode.
+type TenantModeLatency struct {
+	Tenant string           `json:"tenant"`
+	Mode   string           `json:"mode"`
+	Count  uint64           `json:"count"`
+	P50    simtime.Duration `json:"p50_ns"`
+	P95    simtime.Duration `json:"p95_ns"`
+	P99    simtime.Duration `json:"p99_ns"`
+	Max    simtime.Duration `json:"max_ns"`
 }
 
 // SLOSummary is one function's attainment against its virtual-time
@@ -148,6 +192,14 @@ func (r Report) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
+	if _, err := fmt.Fprintf(w, "\nrejection_reason,count\n"); err != nil {
+		return err
+	}
+	for _, rr := range r.RejectionReasons {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", rr.Reason, rr.Count); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "\nfailover_reason,count\n"); err != nil {
 		return err
 	}
@@ -162,6 +214,28 @@ func (r Report) WriteCSV(w io.Writer) error {
 	for _, s := range r.SLOs {
 		if _, err := fmt.Fprintf(w, "%s,%t,%d,%d,%d,%s\n", s.Function, s.ULL, int64(s.Budget), s.Arrivals, s.Missed, formatRatio(s.Attainment)); err != nil {
 			return err
+		}
+	}
+	if len(r.Tenants) > 0 {
+		if _, err := fmt.Fprintf(w, "\ntenant,weight,entitlement,slots_held,arrivals,served,admission_rejected,rejected,failed,missed,attainment,ull_attainment,tokens_available\n"); err != nil {
+			return err
+		}
+		for _, t := range r.Tenants {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+				t.Tenant, t.Weight, t.Entitlement, t.SlotsHeld, t.Arrivals, t.Served,
+				t.AdmissionRejected, t.Rejected, t.Failed, t.Missed,
+				formatRatio(t.Attainment), formatRatio(t.ULLAttainment), formatRatio(t.TokensAvailable)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\ntenant_mode_tenant,mode,count,p50_ns,p95_ns,p99_ns,max_ns\n"); err != nil {
+			return err
+		}
+		for _, tm := range r.TenantModes {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d\n",
+				tm.Tenant, tm.Mode, tm.Count, int64(tm.P50), int64(tm.P95), int64(tm.P99), int64(tm.Max)); err != nil {
+				return err
+			}
 		}
 	}
 	if len(r.Attribution) > 0 {
@@ -200,9 +274,16 @@ type reportBuilder struct {
 	rejected uint64
 	failed   uint64
 
-	byMode map[string][]simtime.Duration
-	byNode map[string][]simtime.Duration
-	byFn   map[string]*fnOutcome
+	byMode     map[string][]simtime.Duration
+	byNode     map[string][]simtime.Duration
+	byFn       map[string]*fnOutcome
+	rejReasons map[string]uint64
+
+	// byTenant is indexed by the controller's tenant index (nil without
+	// a tenant contract); byTenantMode keys one tenant's one-mode latency
+	// samples.
+	byTenant     []tenantOutcome
+	byTenantMode map[tenantModeKey][]simtime.Duration
 }
 
 type fnOutcome struct {
@@ -210,15 +291,37 @@ type fnOutcome struct {
 	missed   uint64
 }
 
+type tenantOutcome struct {
+	arrivals          uint64
+	served            uint64
+	admissionRejected uint64
+	rejected          uint64
+	failed            uint64
+	missed            uint64
+	ullArrivals       uint64
+	ullMissed         uint64
+}
+
+type tenantModeKey struct {
+	tenant int
+	mode   string
+}
+
 func newReportBuilder(c *Cluster, horizon simtime.Duration, budgets map[string]simtime.Duration) *reportBuilder {
-	return &reportBuilder{
-		cluster: c,
-		horizon: horizon,
-		budgets: budgets,
-		byMode:  make(map[string][]simtime.Duration),
-		byNode:  make(map[string][]simtime.Duration),
-		byFn:    make(map[string]*fnOutcome),
+	b := &reportBuilder{
+		cluster:    c,
+		horizon:    horizon,
+		budgets:    budgets,
+		byMode:     make(map[string][]simtime.Duration),
+		byNode:     make(map[string][]simtime.Duration),
+		byFn:       make(map[string]*fnOutcome),
+		rejReasons: make(map[string]uint64),
 	}
+	if c.tenants != nil {
+		b.byTenant = make([]tenantOutcome, c.tenants.Len())
+		b.byTenantMode = make(map[tenantModeKey][]simtime.Duration)
+	}
+	return b
 }
 
 // record folds one trigger outcome into the report. Mode latencies are
@@ -236,27 +339,66 @@ func (b *reportBuilder) record(fn, servedMode, node string, latency simtime.Dura
 		b.byFn[fn] = out
 	}
 	out.arrivals++
+	entry := b.cluster.deployments[fn]
+	var to *tenantOutcome
+	if b.byTenant != nil && entry.tenant >= 0 {
+		to = &b.byTenant[entry.tenant]
+		to.arrivals++
+		if entry.ull {
+			to.ullArrivals++
+		}
+	}
 	if err != nil {
 		if isRejection(err) {
 			b.rejected++
+			reason := rejectionReason(err)
+			b.rejReasons[reason]++
+			if to != nil {
+				if reason == RejectReasonAdmission {
+					to.admissionRejected++
+				} else {
+					to.rejected++
+				}
+			}
 		} else {
 			b.failed++
+			if to != nil {
+				to.failed++
+			}
 		}
 		out.missed++
+		if to != nil {
+			to.missed++
+			if entry.ull {
+				to.ullMissed++
+			}
+		}
 		return
 	}
 	b.served++
-	if latency > b.budgets[fn] {
+	missed := latency > b.budgets[fn]
+	if missed {
 		out.missed++
 	}
 	b.byMode[servedMode] = append(b.byMode[servedMode], latency)
 	b.byNode[node] = append(b.byNode[node], latency)
+	if to != nil {
+		to.served++
+		if missed {
+			to.missed++
+			if entry.ull {
+				to.ullMissed++
+			}
+		}
+		key := tenantModeKey{tenant: entry.tenant, mode: servedMode}
+		b.byTenantMode[key] = append(b.byTenantMode[key], latency)
+	}
 }
 
-// isRejection distinguishes no-eligible-node rejections from on-node
-// failures.
+// isRejection distinguishes rejections — no eligible node, or refused
+// at the tenant admission gate — from on-node failures.
 func isRejection(err error) bool {
-	return errors.Is(err, ErrNoNodes)
+	return errors.Is(err, ErrNoNodes) || errors.Is(err, ErrAdmissionRejected)
 }
 
 // build assembles the final Report. Every map is drained through a
@@ -274,6 +416,14 @@ func (b *reportBuilder) build() Report {
 		Served:   b.served,
 		Rejected: b.rejected,
 		Failed:   b.failed,
+	}
+	rejReasons := make([]string, 0, len(b.rejReasons))
+	for reason := range b.rejReasons {
+		rejReasons = append(rejReasons, reason)
+	}
+	sort.Strings(rejReasons)
+	for _, reason := range rejReasons {
+		r.RejectionReasons = append(r.RejectionReasons, ReasonCount{Reason: reason, Count: b.rejReasons[reason]})
 	}
 	reasons := make([]string, 0, len(c.failovers))
 	for reason := range c.failovers {
@@ -340,6 +490,52 @@ func (b *reportBuilder) build() Report {
 		}
 	}
 	r.ULLAttainment = attainment(ullMissed, ullArrivals)
+	if c.tenants != nil {
+		// Tenant indexes are name-sorted by construction, so walking
+		// them in order yields a deterministic name-ordered section.
+		for i := 0; i < c.tenants.Len(); i++ {
+			spec := c.tenants.Spec(i)
+			out := b.byTenant[i]
+			r.Tenants = append(r.Tenants, TenantSummary{
+				Tenant:            spec.Name,
+				Weight:            spec.Weight,
+				Entitlement:       c.tenants.Entitlement(i),
+				SlotsHeld:         c.tenantHorseHeld(i),
+				Arrivals:          out.arrivals,
+				Served:            out.served,
+				AdmissionRejected: out.admissionRejected,
+				Rejected:          out.rejected,
+				Failed:            out.failed,
+				Missed:            out.missed,
+				Attainment:        attainment(out.missed, out.arrivals),
+				ULLAttainment:     attainment(out.ullMissed, out.ullArrivals),
+				TokensAvailable:   c.tenants.TokensAvailable(i),
+			})
+		}
+		keys := make([]tenantModeKey, 0, len(b.byTenantMode))
+		for key := range b.byTenantMode {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].tenant != keys[j].tenant {
+				return keys[i].tenant < keys[j].tenant
+			}
+			return keys[i].mode < keys[j].mode
+		})
+		for _, key := range keys {
+			samples := b.byTenantMode[key]
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			r.TenantModes = append(r.TenantModes, TenantModeLatency{
+				Tenant: c.tenants.Spec(key.tenant).Name,
+				Mode:   key.mode,
+				Count:  uint64(len(samples)),
+				P50:    percentile(samples, 0.50),
+				P95:    percentile(samples, 0.95),
+				P99:    percentile(samples, 0.99),
+				Max:    samples[len(samples)-1],
+			})
+		}
+	}
 	r.Attribution = c.rec.Attribution()
 	r.TraceViolations = c.rec.Violations()
 	r.TraceReconcileFailures = c.rec.ReconcileFailures()

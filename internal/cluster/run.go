@@ -9,6 +9,7 @@ import (
 	"github.com/horse-faas/horse/internal/faultinject"
 	"github.com/horse-faas/horse/internal/loadgen"
 	"github.com/horse-faas/horse/internal/simtime"
+	"github.com/horse-faas/horse/internal/tenant"
 	"github.com/horse-faas/horse/internal/trigtrace"
 )
 
@@ -137,6 +138,11 @@ func (c *Cluster) Run(cfg RunConfig) (Report, error) {
 		if !ok {
 			return Report{}, fmt.Errorf("cluster: workload function %q is not registered", w.Function)
 		}
+		// Tenant-tagged workloads bind their function to the tenant so
+		// admission, quota, and report attribution all see it.
+		if err := c.BindTenant(w.Function, w.Tenant); err != nil {
+			return Report{}, err
+		}
 		budget, ok := cfg.SLO[w.Function]
 		if !ok {
 			if entry.ull {
@@ -183,16 +189,28 @@ func (c *Cluster) Run(cfg RunConfig) (Report, error) {
 	// and served epoch by epoch.
 	var epoch []*pendingJob
 	err = gen.Install(c.engine, horizonEnd, func(a loadgen.Arrival) {
+		entry := c.deployments[a.Function]
 		tc := c.rec.Start(c.seq, a.Function, a.Mode.String(), a.At, c.sloBudgets[a.Function])
-		epoch = append(epoch, &pendingJob{
+		tc.SetTenant(entry.tenantName)
+		job := &pendingJob{
 			seq:     c.seq,
 			fn:      a.Function,
-			ull:     c.deployments[a.Function].ull,
+			ull:     entry.ull,
 			mode:    a.Mode,
 			payload: cfg.Payloads[a.Function],
 			arrival: a.At,
 			tc:      tc,
-		})
+		}
+		// The tenant admission gate fires at the pump — on the
+		// coordinator, in arrival order, identically at every shard
+		// count. A rejected job is terminal before routing: it consumes
+		// no placement and is finalized with the rest of its epoch.
+		if v := c.router.Admit(entry.tenant, a.At, entry.ull); v != tenant.Admitted {
+			job.err = admissionError(entry.tenantName, v)
+			job.outErr = job.err.Error()
+			c.rejected++
+		}
+		epoch = append(epoch, job)
 		c.seq++
 	})
 	if err != nil {
@@ -249,6 +267,11 @@ func (c *Cluster) serveEpoch(group *eventsim.ShardGroup, jobs []*pendingJob, bui
 	for len(pending) > 0 {
 		scheduled := pending[:0:0]
 		for _, job := range pending {
+			// Jobs the admission gate already rejected at the pump are
+			// terminal: they skip routing and go straight to finalize.
+			if job.err != nil {
+				continue
+			}
 			if c.routeJob(job) {
 				scheduled = append(scheduled, job)
 			}

@@ -13,6 +13,13 @@ type PoolStats struct {
 	Size int
 	// ByPolicy counts pool entries per resume policy.
 	ByPolicy map[core.Policy]int
+	// CommittedMB is the sandbox memory the pool holds (Size × the
+	// deployment's per-sandbox MemoryMB). Memory attribution is computed
+	// here, where the pools live, so cluster-level admission and tenant
+	// quota checks charge exactly what the platform has committed — a
+	// ledger kept elsewhere could drift across reaping and destroy
+	// failures.
+	CommittedMB int
 	// OldestIdle is the longest a pooled sandbox has sat paused.
 	OldestIdle simtime.Duration
 }
@@ -24,8 +31,9 @@ func (p *Platform) PoolStats(name string) (PoolStats, error) {
 		return PoolStats{}, err
 	}
 	stats := PoolStats{
-		Size:     len(d.pool),
-		ByPolicy: make(map[core.Policy]int),
+		Size:        len(d.pool),
+		ByPolicy:    make(map[core.Policy]int),
+		CommittedMB: len(d.pool) * d.spec.MemoryMB,
 	}
 	now := p.clock.Now()
 	for _, ps := range d.pool {

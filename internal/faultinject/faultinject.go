@@ -79,6 +79,11 @@ func Sites() []Site {
 // errors.Is, regardless of the wrapped error.
 var ErrInjected = errors.New("faultinject: injected fault")
 
+// ErrBadSpec is the sentinel wrapped by every ParseSpec error, matching
+// the loadgen and tenant parser convention: callers branch on the
+// sentinel, humans read the quoted fragment and byte offset.
+var ErrBadSpec = errors.New("faultinject: bad fault spec")
+
 // Error is the concrete injected fault. It reports the site and the
 // 1-based visit at which it fired, and optionally wraps the error the
 // rule was configured to simulate.
@@ -337,55 +342,74 @@ var knownSites = func() map[Site]bool {
 //	resume:rate=0.05,pause:nth=3,invoke:every=100
 //
 // Triggers are rate (probability per visit), nth (one-shot at the nth
-// visit), and every (periodic). An empty spec yields no rules.
+// visit), and every (periodic). An empty spec yields no rules. Errors
+// wrap ErrBadSpec and quote the offending clause with its byte offset
+// in the input, so a long -faults flag pinpoints its own typo.
 func ParseSpec(spec string) ([]Rule, error) {
-	spec = strings.TrimSpace(spec)
-	if spec == "" {
+	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
 	var rules []Rule
-	for _, clause := range strings.Split(spec, ",") {
-		clause = strings.TrimSpace(clause)
-		if clause == "" {
-			continue
-		}
-		site, trigger, ok := strings.Cut(clause, ":")
-		if !ok {
-			return nil, fmt.Errorf("faultinject: clause %q: want site:trigger=value", clause)
-		}
-		if !knownSites[Site(site)] {
-			return nil, fmt.Errorf("faultinject: unknown site %q (known: %s)", site, siteList())
-		}
-		key, value, ok := strings.Cut(trigger, "=")
-		if !ok {
-			return nil, fmt.Errorf("faultinject: clause %q: want site:trigger=value", clause)
-		}
-		r := Rule{Site: Site(site)}
-		switch key {
-		case "rate":
-			f, err := strconv.ParseFloat(value, 64)
-			if err != nil || f <= 0 || f > 1 {
-				return nil, fmt.Errorf("faultinject: clause %q: rate must be in (0,1]", clause)
+	at := 0
+	for rest := spec; ; {
+		raw, tail, more := strings.Cut(rest, ",")
+		clause := strings.TrimSpace(raw)
+		if clause != "" {
+			base := at + strings.Index(raw, clause)
+			r, err := parseFaultClause(clause, base)
+			if err != nil {
+				return nil, err
 			}
-			r.Rate = f
-		case "nth":
-			n, err := strconv.ParseUint(value, 10, 64)
-			if err != nil || n == 0 {
-				return nil, fmt.Errorf("faultinject: clause %q: nth must be a positive integer", clause)
-			}
-			r.Nth = n
-		case "every":
-			n, err := strconv.ParseUint(value, 10, 64)
-			if err != nil || n == 0 {
-				return nil, fmt.Errorf("faultinject: clause %q: every must be a positive integer", clause)
-			}
-			r.Every = n
-		default:
-			return nil, fmt.Errorf("faultinject: clause %q: unknown trigger %q (want rate, nth, or every)", clause, key)
+			rules = append(rules, r)
 		}
-		rules = append(rules, r)
+		if !more {
+			break
+		}
+		at += len(raw) + 1
+		rest = tail
 	}
 	return rules, nil
+}
+
+// parseFaultClause parses one site:trigger=value clause; base is the
+// clause's byte offset in the full spec, threaded into every error.
+func parseFaultClause(clause string, base int) (Rule, error) {
+	site, trigger, ok := strings.Cut(clause, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("%w: clause %q at offset %d: want site:trigger=value", ErrBadSpec, clause, base)
+	}
+	if !knownSites[Site(site)] {
+		return Rule{}, fmt.Errorf("%w: unknown site %q at offset %d (known: %s)", ErrBadSpec, site, base, siteList())
+	}
+	key, value, ok := strings.Cut(trigger, "=")
+	triggerAt := base + len(site) + 1
+	if !ok {
+		return Rule{}, fmt.Errorf("%w: fragment %q at offset %d: want trigger=value", ErrBadSpec, trigger, triggerAt)
+	}
+	r := Rule{Site: Site(site)}
+	switch key {
+	case "rate":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return Rule{}, fmt.Errorf("%w: fragment %q at offset %d: rate must be in (0,1]", ErrBadSpec, trigger, triggerAt)
+		}
+		r.Rate = f
+	case "nth":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil || n == 0 {
+			return Rule{}, fmt.Errorf("%w: fragment %q at offset %d: nth must be a positive integer", ErrBadSpec, trigger, triggerAt)
+		}
+		r.Nth = n
+	case "every":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil || n == 0 {
+			return Rule{}, fmt.Errorf("%w: fragment %q at offset %d: every must be a positive integer", ErrBadSpec, trigger, triggerAt)
+		}
+		r.Every = n
+	default:
+		return Rule{}, fmt.Errorf("%w: fragment %q at offset %d: unknown trigger %q (want rate, nth, or every)", ErrBadSpec, trigger, triggerAt, key)
+	}
+	return r, nil
 }
 
 // FromSpec builds an injector directly from a spec string and seed. An

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -214,9 +215,44 @@ func TestParseSpec(t *testing.T) {
 		"resume:every=0",
 		"resume:often=1",
 	} {
-		if _, err := ParseSpec(bad); err == nil {
-			t.Errorf("spec %q accepted", bad)
+		if _, err := ParseSpec(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %q: err = %v, want ErrBadSpec", bad, err)
 		}
+	}
+}
+
+// TestParseSpecErrorPositions pins the parser's error convention:
+// messages quote the offending fragment and its byte offset in the
+// original spec, even for clauses deep in a long flag value.
+func TestParseSpecErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		frag string
+		at   string
+	}{
+		{"no colon", "resume", `"resume"`, "at offset 0"},
+		{"no colon later", "resume:rate=0.5, pause", `"pause"`, "at offset 17"},
+		{"unknown site", "resume:rate=0.5,warp:rate=0.5", `"warp"`, "at offset 16"},
+		{"bare trigger", "resume:rate", `"rate"`, "at offset 7"},
+		{"bad rate", "pause:nth=3,resume:rate=2", `"rate=2"`, "at offset 19"},
+		{"bad nth", "resume:nth=0", `"nth=0"`, "at offset 7"},
+		{"bad every", "invoke:every=x", `"every=x"`, "at offset 7"},
+		{"unknown trigger", "resume:often=1", `"often=1"`, "at offset 7"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseSpec(%q) = %v, want ErrBadSpec", tc.spec, err)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not quote %s", err, tc.frag)
+			}
+			if !strings.Contains(err.Error(), tc.at) {
+				t.Errorf("error %q does not carry %q", err, tc.at)
+			}
+		})
 	}
 }
 

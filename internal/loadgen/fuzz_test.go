@@ -16,6 +16,10 @@ func FuzzParseWorkloads(f *testing.F) {
 	f.Add("thumbnail=onoff:on=10ms,off=90ms,rate=500/s,mode=warm")
 	f.Add("a=poisson:rate=1e3/s;b=poisson:rate=0.5")
 	f.Add("x=onoff:on=1ns,off=1ns,rate=1000000/s,mode=cold:1+restore:0")
+	f.Add("scan=poisson:rate=2000/s,mode=horse,tenant=steady;nat=onoff:on=2ms,off=8ms,rate=400000/s,mode=horse,tenant=greedy")
+	f.Add("f=poisson:rate=9/s,tenant=acme.prod-1")
+	f.Add("f=poisson:rate=9/s,tenant=bad name")
+	f.Add("f=poisson:rate=9/s,tenant=")
 	f.Add(";;=;=,;mode=")
 	f.Add("f=poisson:rate=NaN/s")
 	f.Add("f=onoff:on=9999999h,off=1ms,rate=5/s")

@@ -1,0 +1,63 @@
+package loadgen
+
+// Preset is a named, ready-made experiment scenario: an -arrivals
+// workload mix plus the -tenants contract it is designed to stress.
+// Presets keep the repo's canonical scenarios (the ones README
+// walkthroughs and regression tests pin) in one place, so the CLI, the
+// tests, and the docs all run byte-identical configurations.
+type Preset struct {
+	Name        string
+	Description string
+	// Arrivals is the workload mix in ParseWorkloads syntax.
+	Arrivals string
+	// Tenants is the tenant contract in tenant.ParseSpecs syntax (""
+	// for presets without tenancy).
+	Tenants string
+	// ULLAdmitRate is the aggregate uLL admission bandwidth the
+	// fair-share gate divides between the tenants (0 = gate off).
+	ULLAdmitRate float64
+}
+
+// PresetAdversarialTenants is the adversarial tenant-mix scenario: a
+// steady uLL tenant running a moderate Poisson HORSE scan workload
+// against a greedy tenant firing bursty ON/OFF HORSE NAT traffic at
+// 200× the steady rate. Without tenancy the greedy bursts overrun the
+// NAT pools, spill onto the fallback path, and drive the shared uLL
+// node's backlog into the hundreds of microseconds — collapsing the
+// steady tenant's SLO. With the tenant contract armed, the greedy
+// tenant's overflow is charged to it as admission rejects and the
+// steady tenant's attainment holds (the seeded fairness regression
+// test pins both halves).
+const PresetAdversarialTenants = "adversarial-tenants"
+
+// presets lists every named preset in display order.
+var presets = []Preset{
+	{
+		Name:        PresetAdversarialTenants,
+		Description: "greedy bursty tenant vs. steady uLL tenant on shared uLL capacity",
+		Arrivals:    "scan=poisson:rate=2000/s,mode=horse,tenant=steady;nat=onoff:on=2ms,off=8ms,rate=400000/s,mode=horse,tenant=greedy",
+		Tenants:     "steady:weight=4,slots=3;greedy:weight=1,rate=2500/s,burst=50,slots=1",
+		// 6000/s aggregate uLL admission: steady's 4/5 share covers its
+		// 2000/s offered load with headroom; greedy's burst spikes hit
+		// both its rate bucket and its 1/5 fair share.
+		ULLAdmitRate: 6000,
+	},
+}
+
+// Presets returns every named preset in display order. The caller owns
+// the slice.
+func Presets() []Preset {
+	out := make([]Preset, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// LookupPreset resolves a preset by name.
+func LookupPreset(name string) (Preset, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/horse-faas/horse/internal/faas"
+	"github.com/horse-faas/horse/internal/tenant"
+)
+
+// TestPresetsParse pins that every named preset stays parseable by the
+// flag parsers it is written for — a preset that drifts from the spec
+// syntax is a broken walkthrough.
+func TestPresetsParse(t *testing.T) {
+	if len(Presets()) == 0 {
+		t.Fatal("no presets defined")
+	}
+	for _, p := range Presets() {
+		t.Run(p.Name, func(t *testing.T) {
+			ws, err := ParseWorkloads(p.Arrivals)
+			if err != nil {
+				t.Fatalf("preset arrivals %q: %v", p.Arrivals, err)
+			}
+			if p.Tenants == "" {
+				return
+			}
+			specs, err := tenant.ParseSpecs(p.Tenants)
+			if err != nil {
+				t.Fatalf("preset tenants %q: %v", p.Tenants, err)
+			}
+			ctrl, err := tenant.New(specs, tenant.Options{Slots: 4, ULLRate: p.ULLAdmitRate})
+			if err != nil {
+				t.Fatalf("preset tenant controller: %v", err)
+			}
+			// Every tenant a workload names must exist in the contract.
+			for _, w := range ws {
+				if w.Tenant == "" {
+					continue
+				}
+				if _, ok := ctrl.Lookup(w.Tenant); !ok {
+					t.Errorf("workload %q names tenant %q not in the preset contract", w.Function, w.Tenant)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialTenantsPreset pins the adversarial scenario's shape:
+// one steady and one greedy tenant, the greedy one bursty and
+// rate-limited, both on the HORSE fast path.
+func TestAdversarialTenantsPreset(t *testing.T) {
+	p, ok := LookupPreset(PresetAdversarialTenants)
+	if !ok {
+		t.Fatal("adversarial-tenants preset missing")
+	}
+	ws, err := ParseWorkloads(p.Arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTenant := map[string]Workload{}
+	for _, w := range ws {
+		byTenant[w.Tenant] = w
+	}
+	steady, ok := byTenant["steady"]
+	if !ok {
+		t.Fatal("no steady-tenant workload")
+	}
+	greedy, ok := byTenant["greedy"]
+	if !ok {
+		t.Fatal("no greedy-tenant workload")
+	}
+	if steady.Spec.Kind != KindPoisson {
+		t.Errorf("steady workload is %v, want poisson", steady.Spec.Kind)
+	}
+	if greedy.Spec.Kind != KindOnOff {
+		t.Errorf("greedy workload is %v, want onoff (bursty)", greedy.Spec.Kind)
+	}
+	if greedy.Function == steady.Function {
+		t.Error("the two tenants must drive distinct functions so attribution separates them")
+	}
+	if greedy.Spec.Rate <= 10*steady.Spec.Rate {
+		t.Errorf("greedy burst rate %g is not adversarial against steady %g", greedy.Spec.Rate, steady.Spec.Rate)
+	}
+	for _, w := range []Workload{steady, greedy} {
+		if len(w.Mix) != 1 || w.Mix[0].Mode != faas.ModeHorse {
+			t.Errorf("workload %q mode mix %v, want pure horse", w.Function, w.Mix)
+		}
+	}
+	specs, err := tenant.ParseSpecs(p.Tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Name == "greedy" && s.Rate == 0 {
+			t.Error("greedy tenant has no rate limit; the scenario cannot charge it admission rejects")
+		}
+	}
+	if p.ULLAdmitRate <= 0 {
+		t.Error("adversarial preset leaves the uLL fair-share gate disarmed")
+	}
+}
+
+// TestParseWorkloadsTenantKey covers the tenant= clause key.
+func TestParseWorkloadsTenantKey(t *testing.T) {
+	ws, err := ParseWorkloads("scan=poisson:rate=100/s,mode=warm,tenant=acme;bg=poisson:rate=1/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Tenant != "acme" {
+		t.Errorf("tenant = %q, want acme", ws[0].Tenant)
+	}
+	if ws[1].Tenant != "" {
+		t.Errorf("untenanted workload got tenant %q", ws[1].Tenant)
+	}
+	// Round trip keeps the tenant tag.
+	again, err := ParseWorkloads(ws[0].String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Tenant != "acme" {
+		t.Errorf("round trip lost tenant: %q", again[0].Tenant)
+	}
+	if _, err := ParseWorkloads("scan=poisson:rate=100/s,tenant=bad name"); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("invalid tenant name accepted: %v", err)
+	}
+}
+
+// TestParseWorkloadsErrorPositions asserts the parser's error
+// convention: messages quote the offending clause and its byte offset.
+func TestParseWorkloadsErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		frag string
+		at   string
+	}{
+		{"no equals", "scan", `"scan"`, "at offset 0"},
+		{"later clause", "scan=poisson:rate=5/s;bogus", `"bogus"`, "at offset 22"},
+		{"duplicate", "scan=poisson:rate=5/s; scan=poisson:rate=5/s", `"scan"`, "at offset 23"},
+		{"bad spec kind", "scan=poison:rate=5/s", `"scan=poison:rate=5/s"`, "at offset 0"},
+		{"bad rate in clause", "a=poisson:rate=5/s;b=poisson:rate=zap", `"b=poisson:rate=zap"`, "at offset 19"},
+		{"bad tenant", "a=poisson:rate=5/s,tenant=x y", `"a=poisson:rate=5/s,tenant=x y"`, "at offset 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseWorkloads(tc.spec)
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseWorkloads(%q) = %v, want ErrBadSpec", tc.spec, err)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not quote %s", err, tc.frag)
+			}
+			if !strings.Contains(err.Error(), tc.at) {
+				t.Errorf("error %q does not carry %q", err, tc.at)
+			}
+		})
+	}
+}

@@ -60,6 +60,10 @@ var catalog = []InstrumentDef{
 	{"trigtrace_traces_total", KindCounter, nil, "Per-trigger traces finished by the recorder."},
 	{"trigtrace_slo_violations_total", KindCounter, nil, "Finished traces that erred or exceeded their SLO budget."},
 	{"trigtrace_retained_total", KindCounter, []string{"reason"}, "Span trees retained by the flight recorder per retention reason."},
+	{"tenant_admitted_total", KindCounter, []string{"tenant"}, "Arrivals admitted past the tenant admission gate per tenant."},
+	{"tenant_rejected_total", KindCounter, []string{"tenant", "reason"}, "Arrivals rejected at the tenant admission gate per tenant and gate (rate, ull-share)."},
+	{"tenant_tokens_available", KindGauge, []string{"tenant"}, "Rate-limit tokens currently available in the tenant's bucket."},
+	{"tenant_ull_slot_occupancy", KindGauge, []string{"tenant"}, "Reserved uLL slots the tenant's HORSE pools currently hold."},
 }
 
 // Catalog returns the instrument catalog sorted by family name. The

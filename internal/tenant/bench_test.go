@@ -1,0 +1,46 @@
+package tenant
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// BenchmarkAdmit measures the full admission decision — rate-bucket
+// refill plus the DRR fair-share gate — on an advancing virtual clock,
+// the exact per-arrival cost the cluster's coordinator pays. Budget
+// pinned in BENCH_tenant.json.
+func BenchmarkAdmit(b *testing.B) {
+	specs, err := ParseSpecs("acme:weight=3,rate=500000/s;batch:weight=1,rate=100000/s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := New(specs, Options{Slots: 8, ULLRate: 400000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, _ := ctrl.Lookup("acme")
+	now := simtime.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(simtime.Microsecond)
+		sinkVerdict = ctrl.Admit(idx, now, true)
+	}
+}
+
+// BenchmarkAdmitUntenanted measures the bypass an arrival without a
+// tenant binding pays: a single branch.
+func BenchmarkAdmitUntenanted(b *testing.B) {
+	specs, _ := ParseSpecs("acme:weight=1")
+	ctrl, err := New(specs, Options{Slots: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := simtime.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkVerdict = ctrl.Admit(-1, now, true)
+	}
+}

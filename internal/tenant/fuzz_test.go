@@ -1,0 +1,52 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpecs drives the -tenants parser with arbitrary input: it
+// must never panic, every accepted spec must render (String) and
+// re-parse to the same values, and every rejection must quote a
+// fragment of the input plus a byte offset (the parser's error
+// convention).
+func FuzzParseSpecs(f *testing.F) {
+	f.Add("acme:weight=4,rate=5000/s,burst=64,slots=4,mem=4096;batch:weight=1,rate=20000/s")
+	f.Add("steady:weight=4,slots=3;greedy:weight=1,rate=4000/s,burst=200,slots=1")
+	f.Add("solo")
+	f.Add(" a ; b:weight=2 ")
+	f.Add("a:rate=1.5/s,mem=128")
+	f.Add("")
+	f.Add("a:weight=0")
+	f.Add("a:rate=nan")
+	f.Add(";;;")
+	f.Add("a:weight=1;a:weight=2")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseSpecs(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "at offset ") && !strings.Contains(err.Error(), "empty tenant list") {
+				t.Fatalf("error without position info: %v", err)
+			}
+			return
+		}
+		if strings.TrimSpace(s) == "" {
+			return
+		}
+		rendered := FormatSpecs(specs)
+		again, err := ParseSpecs(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q failed to re-parse %q: %v", s, rendered, err)
+		}
+		if len(again) != len(specs) {
+			t.Fatalf("round trip changed tenant count: %d vs %d", len(specs), len(again))
+		}
+		for i := range specs {
+			if specs[i] != again[i] {
+				t.Fatalf("round trip changed spec %d: %+v vs %+v", i, specs[i], again[i])
+			}
+		}
+		if _, err := New(specs, Options{Slots: 8, ULLRate: 1000}); err != nil {
+			t.Fatalf("parsed specs rejected by New: %v", err)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package tenant
+
+import (
+	"testing"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// Allocation sinks keep the pinned calls from being optimized away.
+var (
+	sinkVerdict Verdict
+	sinkBool    bool
+)
+
+// Allocation pins for every //horselint:hotpath function in this
+// package (the allocpin analyzer requires one per annotation): the
+// admission decision every arrival pays — bucket refill, fair-share
+// refill, DRR pick — must be allocation-free, matching the hotpath
+// analyzer's static verdict.
+func TestHotPathAllocFree(t *testing.T) {
+	ctrl := mustController(t, "acme:weight=3,rate=5000/s;batch:weight=1,rate=1000/s", Options{Slots: 8, ULLRate: 4000})
+	idx, _ := ctrl.Lookup("acme")
+	now := at(1_000_000)
+
+	if n := testing.AllocsPerRun(100, func() {
+		sinkVerdict = ctrl.Admit(idx, now, true)
+	}); n != 0 {
+		t.Errorf("Admit allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ctrl.refillRate(idx, now)
+	}); n != 0 {
+		t.Errorf("refillRate allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ctrl.refillShares(now)
+	}); n != 0 {
+		t.Errorf("refillShares allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sinkBool = ctrl.takeShare(idx)
+	}); n != 0 {
+		t.Errorf("takeShare allocates %v per run, want 0", n)
+	}
+	// The admission path must stay allocation-free as virtual time
+	// advances (refills active), not only on the cached-instant path.
+	step := simtime.Duration(0)
+	if n := testing.AllocsPerRun(100, func() {
+		step += simtime.Microsecond
+		sinkVerdict = ctrl.Admit(idx, now.Add(step), true)
+	}); n != 0 {
+		t.Errorf("Admit with advancing clock allocates %v per run, want 0", n)
+	}
+}

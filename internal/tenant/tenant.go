@@ -1,0 +1,295 @@
+// Package tenant is the cluster's multi-tenant admission layer
+// (DESIGN.md §14): a registry of tenant capacity contracts plus a
+// deterministic, virtual-time admission controller the router consults
+// once per arrival.
+//
+// Each tenant declares a weight (its share of contested uLL admission
+// bandwidth), a uLL-slot share (its entitlement to the cluster's
+// reserved HORSE capacity), a trigger-rate limit (a token bucket on the
+// virtual clock), and a sandbox-memory quota. Admission is two gates in
+// sequence — the per-tenant rate bucket, then a deficit-round-robin
+// fair-share gate over the reserved uLL capacity — and both run
+// allocation-free on the coordinator's hot path: same seed, same
+// arrivals ⇒ the same admit/reject sequence at every shard count.
+//
+// The package deliberately owns no pools and no placement: slot
+// occupancy is always computed live from the platform's warm pools by
+// the cluster (mirroring Node.committedMB), so the admission view can
+// never drift from what is actually placed.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/horse-faas/horse/internal/simtime"
+)
+
+// ErrBadSpec reports a malformed -tenants spec.
+var ErrBadSpec = errors.New("tenant: bad tenant spec")
+
+// Parser bounds, mirroring loadgen's: rates below the floor would take
+// virtual days to mint one token; weights above the cap would overflow
+// the largest-remainder entitlement arithmetic.
+const (
+	minRate   = 1e-6
+	maxRate   = 1e12
+	maxWeight = 1 << 20
+	maxSlots  = 1 << 20
+	maxMemMB  = 1 << 30
+	maxBurst  = 1e12
+)
+
+// Spec is one tenant's capacity contract: the -tenants flag clause
+//
+//	name:weight=4,rate=5000/s,burst=64,slots=4,mem=4096
+//
+// Every key is optional; a bare "name" tenant has weight 1, no rate
+// limit, a weight-proportional uLL-slot share, and no memory quota.
+type Spec struct {
+	// Name identifies the tenant in workloads (tenant= key), reports,
+	// traces, and metric labels.
+	Name string
+	// Weight is the tenant's share of contested uLL admission bandwidth
+	// under the deficit-round-robin gate (default 1).
+	Weight int
+	// Rate caps the tenant's trigger arrivals in triggers per virtual
+	// second via a token bucket on the virtual clock (0 = unlimited).
+	Rate float64
+	// Burst is the rate bucket's depth in tokens (0 selects
+	// max(1, Rate·10 ms) — one default burst window of arrivals).
+	Burst float64
+	// Slots is the tenant's uLL-slot share: the relative units its
+	// reserved-slot entitlement is computed from. The parser defaults an
+	// unset slots key to the tenant's weight; an explicit 0 reserves
+	// nothing (the tenant can still borrow idle slots).
+	Slots int
+	// MemoryMB caps the tenant's cluster-wide committed sandbox memory
+	// across all of its warm pools (0 = unlimited).
+	MemoryMB int
+}
+
+// DefaultBurstWindow sizes the default rate-bucket depth: a tenant may
+// burst one window's worth of its sustained rate.
+const DefaultBurstWindow = 10 * simtime.Millisecond
+
+func (s Spec) withDefaults() Spec {
+	if s.Weight == 0 {
+		s.Weight = 1
+	}
+	if s.Burst == 0 && s.Rate > 0 {
+		s.Burst = s.Rate * float64(DefaultBurstWindow) / float64(simtime.Second)
+		if s.Burst < 1 {
+			s.Burst = 1
+		}
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if !ValidName(s.Name) {
+		return fmt.Errorf("%w: invalid tenant name %q", ErrBadSpec, s.Name)
+	}
+	if s.Weight < 1 || s.Weight > maxWeight {
+		return fmt.Errorf("%w: tenant %q: weight %d must be in [1, %d]", ErrBadSpec, s.Name, s.Weight, maxWeight)
+	}
+	if s.Rate != 0 && (!(s.Rate >= minRate) || !(s.Rate <= maxRate)) {
+		return fmt.Errorf("%w: tenant %q: rate %g must be triggers per second in [%g, %g]", ErrBadSpec, s.Name, s.Rate, minRate, maxRate)
+	}
+	if s.Burst != 0 && (!(s.Burst >= 1) || !(s.Burst <= maxBurst)) {
+		return fmt.Errorf("%w: tenant %q: burst %g must be in [1, %g]", ErrBadSpec, s.Name, s.Burst, maxBurst)
+	}
+	if s.Burst != 0 && s.Rate == 0 {
+		return fmt.Errorf("%w: tenant %q: burst needs a rate limit", ErrBadSpec, s.Name)
+	}
+	if s.Slots < 0 || s.Slots > maxSlots {
+		return fmt.Errorf("%w: tenant %q: slots %d must be in [0, %d]", ErrBadSpec, s.Name, s.Slots, maxSlots)
+	}
+	if s.MemoryMB < 0 || s.MemoryMB > maxMemMB {
+		return fmt.Errorf("%w: tenant %q: mem %d must be in [0, %d]", ErrBadSpec, s.Name, s.MemoryMB, maxMemMB)
+	}
+	return nil
+}
+
+// ValidName reports whether name is a legal tenant name: non-empty
+// ASCII letters, digits, '-', '_', or '.', so names embed cleanly in
+// spec clauses, metric labels, and CSV cells.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec back in ParseSpecs syntax. Defaulted fields
+// are rendered explicitly so specs round-trip value-identically.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	fmt.Fprintf(&b, ":weight=%d", s.Weight)
+	if s.Rate > 0 {
+		fmt.Fprintf(&b, ",rate=%s/s", strconv.FormatFloat(s.Rate, 'g', -1, 64))
+		fmt.Fprintf(&b, ",burst=%s", strconv.FormatFloat(s.Burst, 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, ",slots=%d", s.Slots)
+	if s.MemoryMB > 0 {
+		fmt.Fprintf(&b, ",mem=%d", s.MemoryMB)
+	}
+	return b.String()
+}
+
+// FormatSpecs renders a tenant list back in ParseSpecs syntax.
+func FormatSpecs(specs []Spec) string {
+	parts := make([]string, 0, len(specs))
+	for _, s := range specs {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpecs parses the -tenants flag: semicolon-separated
+// name:key=value,... clauses, e.g.
+//
+//	acme:weight=4,rate=5000/s,burst=64,slots=4,mem=4096;batch:weight=1,rate=20000/s
+//
+// Keys are weight (uLL admission share), rate (trigger-rate limit,
+// optional /s suffix), burst (rate-bucket depth in tokens), slots
+// (uLL-slot share units), and mem (sandbox-memory quota in MB). Names
+// must be unique. Errors quote the offending fragment and its byte
+// offset in the spec.
+func ParseSpecs(s string) ([]Spec, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return nil, nil
+	}
+	var out []Spec
+	seen := map[string]bool{}
+	for _, cl := range splitClauses(s, ';') {
+		clause := strings.TrimSpace(cl.text)
+		if clause == "" {
+			continue
+		}
+		spec, err := parseClause(clause, cl.offset+leadingSpace(cl.text))
+		if err != nil {
+			return nil, err
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("%w: duplicate tenant %q at offset %d", ErrBadSpec, spec.Name, cl.offset+leadingSpace(cl.text))
+		}
+		seen[spec.Name] = true
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty tenant list", ErrBadSpec)
+	}
+	return out, nil
+}
+
+// parseClause parses one name:key=value,... clause. base is the
+// clause's byte offset in the full spec, carried into error messages.
+func parseClause(clause string, base int) (Spec, error) {
+	name, params, hasParams := strings.Cut(clause, ":")
+	name = strings.TrimSpace(name)
+	if !ValidName(name) {
+		return Spec{}, fmt.Errorf("%w: clause %q at offset %d: want name:key=value,...", ErrBadSpec, clause, base)
+	}
+	spec := Spec{Name: name}
+	slotsSet := false
+	if hasParams {
+		paramBase := base + len(clause) - len(params)
+		for _, kv := range splitClauses(params, ',') {
+			frag := strings.TrimSpace(kv.text)
+			if frag == "" {
+				continue
+			}
+			at := paramBase + kv.offset + leadingSpace(kv.text)
+			key, value, ok := strings.Cut(frag, "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: want key=value", ErrBadSpec, frag, at)
+			}
+			switch key {
+			case "weight":
+				n, err := strconv.Atoi(value)
+				if err != nil || n < 1 || n > maxWeight {
+					return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: weight must be an integer in [1, %d]", ErrBadSpec, frag, at, maxWeight)
+				}
+				spec.Weight = n
+			case "rate":
+				r, err := strconv.ParseFloat(strings.TrimSuffix(value, "/s"), 64)
+				if err != nil || !(r >= minRate) || !(r <= maxRate) {
+					return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: rate must be triggers per second in [%g, %g]", ErrBadSpec, frag, at, minRate, maxRate)
+				}
+				spec.Rate = r
+			case "burst":
+				b, err := strconv.ParseFloat(value, 64)
+				if err != nil || !(b >= 1) || !(b <= maxBurst) {
+					return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: burst must be tokens in [1, %g]", ErrBadSpec, frag, at, maxBurst)
+				}
+				spec.Burst = b
+			case "slots":
+				n, err := strconv.Atoi(value)
+				if err != nil || n < 0 || n > maxSlots {
+					return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: slots must be an integer in [0, %d]", ErrBadSpec, frag, at, maxSlots)
+				}
+				spec.Slots = n
+				slotsSet = true
+			case "mem":
+				n, err := strconv.Atoi(value)
+				if err != nil || n < 0 || n > maxMemMB {
+					return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: mem must be MB in [0, %d]", ErrBadSpec, frag, at, maxMemMB)
+				}
+				spec.MemoryMB = n
+			default:
+				return Spec{}, fmt.Errorf("%w: fragment %q at offset %d: unknown key %q (want weight, rate, burst, slots, mem)", ErrBadSpec, frag, at, key)
+			}
+		}
+	}
+	spec = spec.withDefaults()
+	if !slotsSet {
+		spec.Slots = spec.Weight
+	}
+	if err := spec.validate(); err != nil {
+		return Spec{}, fmt.Errorf("%w (clause %q at offset %d)", err, clause, base)
+	}
+	return spec, nil
+}
+
+// fragment is one separator-delimited piece of a spec and its byte
+// offset in the string it was split from.
+type fragment struct {
+	text   string
+	offset int
+}
+
+// splitClauses splits s on sep, tracking each piece's byte offset so
+// parse errors can point at the offending fragment's position.
+func splitClauses(s string, sep byte) []fragment {
+	var out []fragment
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			out = append(out, fragment{text: s[start:i], offset: start})
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// leadingSpace returns how many leading space bytes TrimSpace would
+// drop, so reported offsets point at the fragment's first real byte.
+func leadingSpace(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " \t"))
+}

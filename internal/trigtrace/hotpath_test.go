@@ -35,6 +35,12 @@ func TestHotPathAllocFree(t *testing.T) {
 		t.Errorf("Context.SetNode allocates %v per run, want 0", n)
 	}
 	if n := testing.AllocsPerRun(100, func() {
+		tc.SetTenant("acme")
+		inert.SetTenant("acme")
+	}); n != 0 {
+		t.Errorf("Context.SetTenant allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
 		sinkInt = tc.Mark() + inert.Mark()
 	}); n != 0 {
 		t.Errorf("Context.Mark allocates %v per run, want 0", n)

@@ -60,16 +60,38 @@ func WritePerfetto(w io.Writer, traces []*TriggerTrace) error {
 		if tr.Violated {
 			status = "slo-violation"
 		}
+		// Tenanted triggers carry the tenant in the track name, so the
+		// Perfetto track list groups one tenant's triggers together.
+		trackName := fmt.Sprintf("trigger %d %s [%s]", tr.Seq, tr.Function, tr.IDString())
+		if tr.Tenant != "" {
+			trackName = fmt.Sprintf("trigger %d %s/%s [%s]", tr.Seq, tr.Tenant, tr.Function, tr.IDString())
+		}
 		out.TraceEvents = append(out.TraceEvents, flowEvent{
 			Name: "thread_name",
 			Ph:   "M",
 			Pid:  triggerPID,
 			Tid:  tid,
 			Args: map[string]string{
-				"name": fmt.Sprintf("trigger %d %s [%s]", tr.Seq, tr.Function, tr.IDString()),
+				"name": trackName,
 			},
 		})
 
+		rootArgs := map[string]string{
+			"trace_id":  tr.IDString(),
+			"seq":       fmt.Sprintf("%d", tr.Seq),
+			"requested": tr.Requested,
+			"served":    tr.Served,
+			"node":      tr.Node,
+			"latency":   fmt.Sprintf("%d", int64(tr.Latency)),
+			"endtoend":  fmt.Sprintf("%d", int64(tr.EndToEnd)),
+			"budget":    fmt.Sprintf("%d", int64(tr.Budget)),
+			"status":    status,
+			"err":       tr.Err,
+			"failovers": fmt.Sprintf("%d", tr.Failovers),
+		}
+		if tr.Tenant != "" {
+			rootArgs["tenant"] = tr.Tenant
+		}
 		rootDur := toMicros(int64(tr.EndToEnd))
 		out.TraceEvents = append(out.TraceEvents, flowEvent{
 			Name: "trigger " + tr.Function,
@@ -79,19 +101,7 @@ func WritePerfetto(w io.Writer, traces []*TriggerTrace) error {
 			Dur:  &rootDur,
 			Pid:  triggerPID,
 			Tid:  tid,
-			Args: map[string]string{
-				"trace_id":  tr.IDString(),
-				"seq":       fmt.Sprintf("%d", tr.Seq),
-				"requested": tr.Requested,
-				"served":    tr.Served,
-				"node":      tr.Node,
-				"latency":   fmt.Sprintf("%d", int64(tr.Latency)),
-				"endtoend":  fmt.Sprintf("%d", int64(tr.EndToEnd)),
-				"budget":    fmt.Sprintf("%d", int64(tr.Budget)),
-				"status":    status,
-				"err":       tr.Err,
-				"failovers": fmt.Sprintf("%d", tr.Failovers),
-			},
+			Args: rootArgs,
 		})
 
 		for i, s := range tr.Stages {

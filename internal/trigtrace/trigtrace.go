@@ -157,6 +157,10 @@ type TriggerTrace struct {
 	ID       TraceID `json:"id"`
 	Seq      uint64  `json:"seq"`
 	Function string  `json:"function"`
+	// Tenant is the owning tenant's name ("" for untenanted traffic);
+	// the cluster stamps it at trace start so per-tenant tail analysis
+	// can slice the Perfetto tracks.
+	Tenant string `json:"tenant,omitempty"`
 	// Requested is the arrival's start mode; Served the mode that
 	// actually served after fallback ("" when the trigger failed).
 	Requested string `json:"requested"`
@@ -272,6 +276,19 @@ func (c Context) SetNode(node string) {
 		return
 	}
 	c.tr.curNode = node
+}
+
+// SetTenant stamps the owning tenant's name on the trace ("" is a
+// no-op tag for untenanted traffic); the cluster calls it once per
+// trace, right after Start.
+//
+//horselint:hotpath
+//horselint:shardphase
+func (c Context) SetTenant(tenant string) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Tenant = tenant
 }
 
 // Record appends one stage span on the current node.
